@@ -1,0 +1,84 @@
+"""E12 — ablation: guess quality, the paper's core motivation.
+
+Section 1: "the running time of the algorithm is actually a function of
+the upper bound estimations and not of the actual values".  Measured on
+one instance:
+
+* oracle guesses (Γ*) — the best the non-uniform algorithm can do;
+* 100× overestimated guesses — the non-uniform algorithm pays for the
+  estimate, not the graph;
+* the uniform transform — no guesses at all, landing within a constant
+  of oracle.
+
+Also reported: the share of rounds the pruning steps contribute to the
+uniform run (the paper's T0 overhead).
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.fast_mis import (
+    fast_mis,
+    fast_mis_nonuniform,
+    fast_mis_rounds,
+)
+from repro.bench import build_graph, format_table, write_report
+from repro.core import mis_pruning, theorem1
+from repro.graphs import families
+from repro.local import run
+from repro.problems import MIS
+
+
+def test_ablation_guess_quality(benchmark):
+    graph = build_graph(families.random_regular(96, 6, seed=7), seed=7)
+    delta, m = graph.max_degree, graph.max_ident
+
+    oracle = run(
+        graph, fast_mis(), guesses={"Delta": delta, "m": m}, seed=1
+    )
+    assert MIS.is_solution(graph, {}, oracle.outputs)
+
+    inflated = run(
+        graph,
+        fast_mis(),
+        guesses={"Delta": delta * 100, "m": m**2},
+        seed=1,
+        max_rounds=fast_mis_rounds(m**2, delta * 100) + 8,
+    )
+    assert MIS.is_solution(graph, {}, inflated.outputs)
+
+    uniform = theorem1(fast_mis_nonuniform(), mis_pruning())
+    transformed = uniform.run(graph, seed=1)
+    assert MIS.is_solution(graph, {}, transformed.outputs)
+    pruning_rounds = sum(
+        mis_pruning().rounds for _ in transformed.steps
+    )
+
+    rows = [
+        ["oracle guesses (Δ*, m*)", oracle.rounds, "knows Δ and m exactly"],
+        [
+            "100×Δ, m² guesses",
+            inflated.rounds,
+            "pays for the estimate, not the graph",
+        ],
+        [
+            "uniform (Theorem 1)",
+            transformed.rounds,
+            f"no knowledge; {len(transformed.steps)} sub-iterations, "
+            f"{pruning_rounds} pruning rounds",
+        ],
+    ]
+    text = format_table(
+        ["configuration", "rounds", "comment"],
+        rows,
+        title=(
+            "E12 ablation — guess quality on regular-6, n=96: the "
+            "non-uniform time follows the guess (paper Section 1); the "
+            "uniform transform needs no guess at bounded extra cost"
+        ),
+    )
+    assert inflated.rounds > 3 * oracle.rounds
+    write_report("E12_ablation_guess_quality", text)
+
+    benchmark.pedantic(
+        lambda: uniform.run(graph, seed=2), rounds=3, iterations=1
+    )

@@ -1,0 +1,102 @@
+"""E14 — Observation 2.1: composition cost and the α synchronizer.
+
+Paper claims measured:
+
+* running time of A1;A2 ≤ t1 + t2 (Chain envelopes, adversarial
+  wake-ups included);
+* an algorithm designed for simultaneous wake-up runs unchanged under
+  any wake-up pattern at no extra termination time (α synchronizer).
+"""
+
+from __future__ import annotations
+
+from repro.bench import build_graph, format_table, write_report
+from repro.graphs import families
+from repro.local import (
+    Broadcast,
+    Chain,
+    LocalAlgorithm,
+    NodeProcess,
+    run,
+    run_with_wakeup,
+    running_time,
+)
+
+
+class Flood(NodeProcess):
+    def __init__(self, ctx, k):
+        super().__init__(ctx)
+        self.k = k
+        self.best = ctx.ident
+        self.round = 0
+
+    def start(self):
+        if self.k == 0:
+            self.finish(self.best)
+            return None
+        return Broadcast(self.best)
+
+    def receive(self, inbox):
+        self.round += 1
+        for value in inbox.values():
+            if isinstance(value, int) and value > self.best:
+                self.best = value
+        if self.round >= self.k:
+            self.finish(self.best)
+            return None
+        return Broadcast(self.best)
+
+
+def flood(k):
+    return LocalAlgorithm(f"flood{k}", lambda ctx: Flood(ctx, k))
+
+
+def test_composition_observation21(benchmark):
+    graph = build_graph(families.grid(10, 10), seed=1)
+    rows = []
+    for k1, k2 in ((2, 3), (4, 4), (6, 2)):
+        single1 = run(graph, flood(k1)).rounds
+        single2 = run(graph, flood(k2)).rounds
+        chained = run(graph, Chain([flood(k1), flood(k2)]))
+        rows.append(
+            [f"flood{k1};flood{k2}", single1, single2, chained.rounds,
+             "≤" if chained.rounds <= single1 + single2 else "VIOLATED"]
+        )
+        assert chained.rounds <= single1 + single2
+    text = format_table(
+        ["composition", "t1", "t2", "t(A1;A2)", "Obs 2.1"],
+        rows,
+        title="E14 Observation 2.1 — composition cost on a 10x10 grid",
+    )
+
+    wake_patterns = {
+        "simultaneous": {u: 0 for u in graph.nodes},
+        "staggered%7": {u: graph.ident[u] % 7 for u in graph.nodes},
+        "corner-late": {
+            u: (15 if graph.ident[u] == graph.max_ident else 0)
+            for u in graph.nodes
+        },
+    }
+    sync_rounds = run(graph, flood(5)).rounds
+    rows2 = []
+    for name, wake in wake_patterns.items():
+        result = run_with_wakeup(graph, flood(5), wake)
+        rt = running_time(graph, wake, result.finish_round)
+        rows2.append([name, rt, sync_rounds,
+                      "≤" if rt <= sync_rounds else "VIOLATED"])
+        assert rt <= sync_rounds
+    text += "\n\n" + format_table(
+        ["wake-up pattern", "termination time", "sync time", "α-synchronizer"],
+        rows2,
+        title=(
+            "E14b α synchronizer — the paper's termination-time measure "
+            "under wake-up patterns equals the synchronous time"
+        ),
+    )
+    write_report("E14_composition", text)
+
+    benchmark.pedantic(
+        lambda: run(graph, Chain([flood(4), flood(4)])),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,133 @@
+"""E9 — Corollary 1(i)+(ii): the Theorem-4 portfolio and the min{} shape.
+
+Corollary 1(i) assembles a uniform MIS running in
+min{2^O(√log n), O(Δ + log* n), f(a, n)} from uniformized members.  Two
+complementary views are measured:
+
+* **declared-bound crossover** — evaluating each member's declared
+  bound at the instance's true parameters: the arg-min flips from the
+  (Δ, m)-member on bounded-degree graphs to the n-only member on
+  hub-dominated graphs, which is exactly the min{} structure of the
+  corollary;
+* **measured portfolio tracking** — the interleaved portfolio's rounds
+  stay within a k-dependent constant of the best member's *measured*
+  rounds on every instance (Theorem 4's guarantee).  Note the honest
+  wrinkle (DESIGN.md D2): the hash-Luby substitute's realized behaviour
+  is plain-Luby O(log n), far below its declared bound, so on *measured*
+  rounds it wins everywhere at simulable scales; the paper's crossover
+  is a statement about bounds, reproduced in the declared columns.
+
+Corollary 1(ii) then converts the portfolio into a uniform
+(deg+1)-coloring via the Section 5.1 clique product.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms import corollary1_portfolio
+from repro.algorithms.fast_mis import fast_mis_bound, fast_mis_nonuniform
+from repro.algorithms.hash_luby import hash_luby_bound, hash_luby_nonuniform
+from repro.algorithms.coloring_via_mis import CliqueProductColoring
+from repro.bench import build_graph, format_table, write_report
+from repro.core import mis_pruning, theorem1
+from repro.graphs import families
+from repro.problems import MIS, deg_plus_one_coloring
+
+SIZES = (48, 96, 192)
+
+
+def suite():
+    cases = []
+    for n in SIZES:
+        cases.append(
+            (
+                f"regular4-n{n}",
+                build_graph(families.random_regular(n, 4, seed=1), seed=1),
+            )
+        )
+        cases.append(
+            (
+                f"star-noise-n{n}",
+                build_graph(
+                    families.star_with_noise(n, n // 2, seed=2), seed=2
+                ),
+            )
+        )
+    return cases
+
+
+def test_corollary1_portfolio(benchmark):
+    member_fast = theorem1(fast_mis_nonuniform(), mis_pruning())
+    member_nonly = theorem1(hash_luby_nonuniform(), mis_pruning())
+    portfolio = corollary1_portfolio()
+    f_fast = fast_mis_bound()
+    f_nonly = hash_luby_bound()
+
+    rows = []
+    crossover_declared = set()
+    for label, graph in suite():
+        declared_fast = f_fast.value(
+            {"Delta": max(1, graph.max_degree), "m": graph.max_ident}
+        )
+        declared_nonly = f_nonly.value({"n": graph.n})
+        declared_winner = (
+            "Δ-member" if declared_fast < declared_nonly else "n-member"
+        )
+        crossover_declared.add(declared_winner)
+        fast_rounds = member_fast.run(graph, seed=3).rounds
+        nonly_rounds = member_nonly.run(graph, seed=3).rounds
+        combined = portfolio.run(graph, seed=3)
+        assert MIS.is_solution(graph, {}, combined.outputs), label
+        rows.append(
+            [
+                label,
+                graph.max_degree,
+                f"{declared_fast:.0f}",
+                f"{declared_nonly:.0f}",
+                declared_winner,
+                fast_rounds,
+                nonly_rounds,
+                combined.rounds,
+                f"{combined.rounds / min(fast_rounds, nonly_rounds):.1f}",
+            ]
+        )
+    # The min{} structure must actually flip across the suite.
+    assert crossover_declared == {"Δ-member", "n-member"}
+    text = format_table(
+        [
+            "graph",
+            "Δ",
+            "f(Δ,m) declared",
+            "f(n) declared",
+            "declared winner",
+            "Δ-member rounds",
+            "n-member rounds",
+            "portfolio",
+            "portfolio/best",
+        ],
+        rows,
+        title=(
+            "E9 Corollary 1(i) — min{2^O(√log n), O(Δ+log* n), f(a,n)} via "
+            "Theorem 4: declared-bound crossover + measured tracking "
+            "(see DESIGN.md D2 for why measured rounds favour the n-member "
+            "at these scales)"
+        ),
+    )
+
+    graph = build_graph(families.gnp_avg_degree(64, 6.0, seed=5), seed=5)
+    coloring = CliqueProductColoring(corollary1_portfolio())
+    colors, rounds, _ = coloring.run(graph, seed=7)
+    problem = deg_plus_one_coloring()
+    assert problem.is_solution(graph, {}, colors)
+    text += (
+        f"\n\nE9b Corollary 1(ii): clique-product (deg+1)-coloring on "
+        f"gnp n={graph.n}: {rounds} physical rounds, "
+        f"max color {max(colors.values())}, valid=ok"
+    )
+    write_report("E9_corollary1_portfolio", text)
+
+    graph = build_graph(families.star_with_noise(96, 48, seed=2), seed=2)
+    benchmark.pedantic(
+        lambda: corollary1_portfolio().run(graph, seed=4),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,53 @@
+"""E8 — Table 1 row 10: Luby's uniform randomized MIS (baseline).
+
+The one row that needs no transformation: Luby/ABI is already uniform
+Las Vegas at O(log n) expected rounds.  Also measured: the Theorem-2
+wrap of the *truncated* Luby (the MC→LV application), which must land in
+the same ballpark — the paper's point that the transformation costs only
+constants.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms import TABLE1
+from repro.algorithms.luby import luby_mis
+from repro.bench import build_graph, format_table, growth_factors, write_report
+from repro.graphs import families
+from repro.local import run
+from repro.problems import MIS
+
+SIZES = (64, 128, 256, 512, 1024)
+SEEDS = (1, 2, 3, 4, 5)
+
+
+def test_table1_luby(benchmark):
+    rows = []
+    plain_means = []
+    for n in SIZES:
+        graph = build_graph(families.gnp_avg_degree(n, 8.0, seed=2), seed=2)
+        plain = []
+        for seed in SEEDS:
+            result = run(graph, luby_mis(), seed=seed)
+            assert MIS.is_solution(graph, {}, result.outputs)
+            plain.append(result.rounds)
+        row = TABLE1["luby"]
+        _, _, wrapped = row.build()
+        lv = wrapped.run(graph, seed=1)
+        assert MIS.is_solution(graph, {}, lv.outputs)
+        mean = sum(plain) / len(plain)
+        plain_means.append(mean)
+        rows.append([f"n={graph.n}", f"{mean:.1f}", max(plain), lv.rounds])
+    text = format_table(
+        ["instance", "luby mean rounds", "max", "thm2-wrapped rounds"],
+        rows,
+        title=(
+            "E8 Table1[luby] — paper: uniform O(log n) expected "
+            "(Luby'86/ABI'86); growth must track log n"
+        ),
+    ) + f"\nluby mean growth: {growth_factors(plain_means)} (doubling n)"
+    write_report("E8_table1_luby", text)
+
+    graph = build_graph(families.gnp_avg_degree(256, 8.0, seed=2), seed=2)
+    benchmark.pedantic(
+        lambda: run(graph, luby_mis(), seed=11), rounds=5, iterations=1
+    )

@@ -1,0 +1,62 @@
+"""E3 — Table 1 rows 3–4: arboricity-dependent MIS [BE'10], Theorem 3.
+
+Two pipelines on bounded-arboricity families:
+
+* product path (Γ = {a, n} both guessed; s_f = O(log) grid);
+* n-only path (Corollary 4): Λ = {n}, the arboricity guess derived from
+  the family witness g(a) = 2^(a²) ≤ n via Theorem 3.
+
+Paper claim: uniform at the same asymptotics in both regimes.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms import TABLE1
+from repro.bench import (
+    format_table,
+    growth_factors,
+    measure_row,
+    sized_suite,
+    write_report,
+)
+from repro.bench.harness import HEADERS
+
+SIZES = (32, 64, 128, 256)
+
+
+def test_table1_mis_arboricity(benchmark):
+    texts = []
+    all_ok = True
+    for row_id in ("mis-arb-product", "mis-arb-nonly"):
+        row = TABLE1[row_id]
+        measurements = []
+        for workload in ("tree", "grid", "forest-3"):
+            for label, graph in sized_suite(workload, SIZES, seed=2):
+                measurements.append(measure_row(row, label, graph, seed=4))
+        all_ok &= all(m.uniform_ok and m.nonuniform_ok for m in measurements)
+        trees = [
+            m.uniform_rounds for m in measurements if m.label.startswith("tree")
+        ]
+        texts.append(
+            format_table(
+                HEADERS,
+                [m.row() for m in measurements],
+                title=(
+                    f"E3 Table1[{row_id}] — paper: {row.paper_bound} "
+                    f"({row.paper_citation})"
+                ),
+            )
+            + f"\nuniform-rounds growth (tree): {growth_factors(trees)}"
+        )
+    assert all_ok
+    write_report("E3_table1_mis_arboricity", "\n\n".join(texts))
+
+    row = TABLE1["mis-arb-nonly"]
+    _, _, uniform = row.build()
+    from repro.bench import build_graph
+    from repro.graphs import families
+
+    graph = build_graph(families.random_tree(96, seed=6), seed=6)
+    benchmark.pedantic(
+        lambda: uniform.run(graph, seed=8), rounds=3, iterations=1
+    )

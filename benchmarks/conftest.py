@@ -1,0 +1,12 @@
+"""Benchmark configuration: quick wall-time settings.
+
+The scientific metric of every experiment is the *round count* (printed
+tables, persisted under ``benchmarks/out/``); pytest-benchmark adds
+wall-clock timings of representative simulations on top.
+"""
+
+from __future__ import annotations
+
+
+def pytest_benchmark_update_machine_info(config, machine_info):
+    machine_info["model"] = "LOCAL-model simulator (rounds are the metric)"

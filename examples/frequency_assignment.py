@@ -1,0 +1,65 @@
+"""Radio frequency assignment via the uniform coloring transformer.
+
+Scenario: access points in a wireless mesh must pick channels so that
+no two interfering APs share one.  Interference is geometric (unit-disk)
+and deployments differ wildly in density, so hard-coding the maximum
+interference degree Δ into the firmware is exactly the assumption the
+paper removes.
+
+Theorem 5 gives the firmware: a *uniform* O(Δ²)-coloring in O(log* n)
+rounds (Corollary 1(iii)) when spectrum is plentiful, or λ(Δ+1) colors
+when spectrum is scarce and extra rounds are acceptable — the Table-1
+row 5 tradeoff, chosen per deployment without any global knowledge.
+
+Run:  python examples/frequency_assignment.py
+"""
+
+from repro.algorithms.lambda_coloring import (
+    lambda_coloring_nonuniform,
+    lambda_colors_bound,
+    linial_scheme,
+)
+from repro.bench import build_graph
+from repro.core import theorem5
+from repro.graphs import families
+from repro.problems import PROPER_COLORING
+
+
+def main():
+    mesh = build_graph(families.unit_disk(250, 0.12, seed=21), seed=2)
+    print(
+        f"mesh: n={mesh.n} APs, Δ={mesh.max_degree} max interference, "
+        f"{mesh.edge_count()} interference pairs\n"
+    )
+
+    # Spectrum-rich regime: fast O(Δ²) channels (Corollary 1(iii)).
+    algorithm, bound, g = linial_scheme()
+    fast_firmware = theorem5(algorithm, bound, g)
+    result = fast_firmware.run(mesh, seed=5)
+    PROPER_COLORING.assert_solution(mesh, {}, result.outputs)
+    print(
+        f"spectrum-rich  : {result.colors_used:4d} channels in "
+        f"{result.rounds:5d} rounds  (uniform O(Δ²) @ O(log* n))"
+    )
+
+    # Spectrum-scarce regimes: λ(Δ+1) channels, λ = 4 then 2.
+    for lam in (4, 2):
+        nu = lambda_coloring_nonuniform(lam)
+        firmware = theorem5(nu.algorithm, nu.bound, lambda_colors_bound(lam))
+        result = firmware.run(mesh, seed=5)
+        PROPER_COLORING.assert_solution(mesh, {}, result.outputs)
+        print(
+            f"spectrum λ={lam}   : {result.colors_used:4d} channels in "
+            f"{result.rounds:5d} rounds  (uniform ≈{lam}(Δ+1) colors)"
+        )
+
+    print(
+        "\nfewer channels cost more rounds — Table 1 row 5's tradeoff — "
+        "and no AP ever\nlearned n, Δ or the identity space: Theorem 5's "
+        "degree layers + strong list\ncoloring supplied every estimate "
+        "locally."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Sleep scheduling in a sensor field via uniform MIS.
+
+Scenario (the intro's classic motivation): battery-powered sensors are
+scattered over a field; a maximal independent set makes a perfect
+"awake" backbone — every sleeping sensor has an awake neighbour to relay
+through, and no two awake sensors waste energy covering the same spot.
+Sensors are flashed *before deployment*: nobody knows how many will
+survive the drop, so the firmware cannot contain n or Δ.
+
+Corollary 1(i)'s portfolio is exactly the firmware one wants: it runs as
+fast as the best of its members on whatever field actually materializes
+— dense urban canyon or sparse farmland — with zero configuration.
+
+Run:  python examples/sensor_sleep_scheduling.py
+"""
+
+from repro.algorithms import corollary1_portfolio
+from repro.bench import build_graph
+from repro.graphs import families
+from repro.problems import MIS
+
+
+def deploy(name, graph, seed):
+    network = build_graph(graph, seed=seed)
+    firmware = corollary1_portfolio()
+    result = firmware.run(network, seed=seed)
+    MIS.assert_solution(network, {}, result.outputs, context=name)
+    awake = [u for u, bit in result.outputs.items() if bit == 1]
+    print(
+        f"  {name:28s} n={network.n:4d} Δ={network.max_degree:3d}  "
+        f"awake={len(awake):4d} ({100 * len(awake) // network.n}%)  "
+        f"rounds={result.rounds}"
+    )
+
+
+def main():
+    print("deploying identical firmware (no global knowledge) on three fields:")
+    deploy("farmland (unit disk, sparse)", families.unit_disk(300, 0.09, seed=3), 11)
+    deploy("forest (random tree)", families.random_tree(300, seed=4), 12)
+    deploy(
+        "urban canyon (dense hub)",
+        families.star_with_noise(300, 200, seed=5),
+        13,
+    )
+    print(
+        "\nthe same binary adapts: the O(Δ + log* n) member carries the "
+        "sparse fields,\nthe n-only member carries the hub — Theorem 4 "
+        "interleaves them and the pruner\nkeeps whichever partial progress "
+        "is already safe (Observation 3.4)."
+    )
+
+
+if __name__ == "__main__":
+    main()

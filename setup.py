@@ -1,0 +1,10 @@
+"""Legacy shim so `pip install -e . --no-use-pep517` works offline.
+
+The environment has setuptools but no `wheel`, which breaks PEP 517
+editable installs; this file enables the classic `setup.py develop`
+path.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,27 @@
+"""repro — uniform local algorithms via pruning.
+
+A faithful, executable reproduction of:
+
+    Amos Korman, Jean-Sébastien Sereni, Laurent Viennot.
+    "Toward more localized local algorithms: removing assumptions
+    concerning global knowledge."  PODC 2011 / Distributed Computing
+    26(5-6), 2013.
+
+The library provides:
+
+* a LOCAL-model simulator (:mod:`repro.local`);
+* graph families, identifier schemes and graph parameters
+  (:mod:`repro.graphs`, :mod:`repro.params`);
+* problem definitions with centralized verifiers (:mod:`repro.problems`);
+* the paper's core machinery — pruning algorithms, set-sequences,
+  alternating algorithms, and the transformers of Theorems 1–5
+  (:mod:`repro.core`);
+* implementations of the non-uniform algorithms of Table 1
+  (:mod:`repro.algorithms`);
+* an experiment harness regenerating Table 1, Corollary 1 and Figure 1
+  (:mod:`repro.bench`, driven by the ``benchmarks/`` directory).
+"""
+
+from .version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,105 @@
+"""MIS in ``O(Δ̃ log Δ̃ + log* m̃)``: fast coloring plus a color-class sweep.
+
+The classic coloring→MIS reduction used by both Barenboim–Elkin '09 and
+Kuhn '09 (Table 1 row 1): after a ``(Δ̃+1)``-coloring, sweep the color
+classes — class ``t`` decides in sweep round ``t``, joining when no
+neighbour has joined yet.  The sweep adds ``Δ̃+1`` rounds, dominated by
+the coloring itself.
+
+This algorithm is also the *inner* engine of the arboricity rows: its
+Theorem-1 uniformization adapts to the actual (Δ, m) of each H-partition
+class, which is what keeps the outer bounds independent of the guessed
+arboricity (see :mod:`repro.algorithms.arboricity`).
+"""
+
+from __future__ import annotations
+
+from ..core.bounds import AdditiveBound, custom
+from ..core.transformer import NonUniform
+from ..local.algorithm import LocalAlgorithm
+from ..local.message import Broadcast
+from .fast_coloring import (
+    FastColoringProcess,
+    _kw_atom_value,
+    fast_coloring_rounds,
+)
+from .linial import linial_steps_upper
+
+
+class FastMISProcess(FastColoringProcess):
+    """Fast coloring, then sweep color classes lowest-first."""
+
+    __slots__ = ("sweep_round", "blocked")
+
+    def __init__(self, ctx):
+        super().__init__(ctx)
+        self.sweep_round = 0
+        self.blocked = False
+
+    # The coloring stages call finish() when the color is final; we
+    # intercept that and run the sweep instead.
+    def _finish_with_color(self):
+        final = self.reducer.color if self.reducer else self.color
+        self.color = final  # 0-based final color in [0, delta]
+        self.sweep_round = 1
+
+    def receive(self, inbox):
+        if self.sweep_round == 0:
+            outgoing = super().receive(inbox)
+            if self.sweep_round == 0 or outgoing is not None:
+                # Still coloring, or carrying the last KW announcement
+                # (sweep decisions start strictly after it).
+                return outgoing
+            return None
+        if any(p and p[0] == "mis" for p in inbox.values()):
+            self.blocked = True
+        my_slot = self.color + 1  # colors are 0-based, slots 1-based
+        if self.sweep_round == my_slot:
+            if self.blocked:
+                self.finish(0)
+                return None
+            self.finish(1)
+            return Broadcast(("mis",))
+        self.sweep_round += 1
+        return None
+
+
+def fast_mis():
+    """The non-uniform MIS (requires m̃, Δ̃)."""
+    return LocalAlgorithm(
+        name="fast-mis", process=FastMISProcess, requires=("m", "Delta")
+    )
+
+
+def fast_mis_rounds(m_guess, delta_guess):
+    """Exact schedule length: coloring + Δ̃+1 sweep slots."""
+    return fast_coloring_rounds(m_guess, delta_guess) + delta_guess + 1
+
+
+def fast_mis_bound():
+    """Declared ``O(Δ̃ log Δ̃) + O(log* m̃)`` bound (additive, s_f = 1)."""
+    return AdditiveBound(
+        [
+            custom(
+                "Delta",
+                lambda d: _kw_atom_value(d) + max(0, int(d)) + 2,
+                "kw+sweep(Delta)",
+            ),
+            custom(
+                "m", lambda m: 2 * linial_steps_upper(m), "2*(logstar m + 4)"
+            ),
+        ],
+        constant=3,
+        label="fast-mis rounds",
+    )
+
+
+def fast_mis_nonuniform():
+    """Theorem 1 input for Table 1 row 1 (MIS in O(Δ + log* n))."""
+    return NonUniform(
+        fast_mis(),
+        fast_mis_bound(),
+        kind="deterministic",
+        default_output=0,
+        name="fast-mis",
+    )

@@ -1,0 +1,187 @@
+"""A non-uniform algorithm and pruner for strong g-coloring (§6.3).
+
+Realizes the research direction the paper closes with: make coloring
+prunable by carrying forbidden lists in the inputs.
+
+* :class:`ForbiddenPruning` — 2 rounds: prune nodes whose tentative
+  color is allowed and conflict-free; survivors add the pruned
+  neighbours' colors to their forbidden sets.  Solution detection and
+  gluing hold by the capacity invariant (one forbidden color per lost
+  neighbour), mirroring Theorem 5's SLC pruner on a flat palette.
+
+* :func:`forbidden_coloring` — the non-uniform box: a Linial-ordered
+  greedy sweep.  First Linial reduces initial colors to the fixpoint
+  palette (needs m̃, Δ̃); then color classes choose, in slot order, the
+  smallest allowed color not taken by a neighbour.  With good guesses
+  this uses ``O(Δ̃² + log* m̃)`` rounds — deliberately simple; the point
+  of the module is the *pruner*, which is what the paper said was
+  missing.
+
+Together with Theorem 1 this yields a **uniform strong-coloring
+algorithm** — the artifact Section 6.3 asks for (see
+``tests/test_forbidden_coloring.py``).
+"""
+
+from __future__ import annotations
+
+from ..core.bounds import AdditiveBound, custom
+from ..core.pruning import KEEP, PruningAlgorithm
+from ..core.transformer import NonUniform
+from ..local.algorithm import LocalAlgorithm, NodeProcess
+from ..local.message import Broadcast
+from ..problems.forbidden import ForbiddenInput, STRONG_COLORING
+from .linial import (
+    initial_color,
+    linial_fixpoint_palette,
+    linial_schedule,
+    linial_steps_upper,
+    reduce_color,
+)
+
+
+class _ForbiddenPruneProcess(NodeProcess):
+    __slots__ = ("step", "x", "y_hat", "ok")
+
+    def __init__(self, ctx):
+        super().__init__(ctx)
+        self.step = 0
+        self.x, self.y_hat = ctx.input if ctx.input else (None, None)
+        self.ok = False
+
+    def start(self):
+        return Broadcast(("y", self.y_hat))
+
+    def receive(self, inbox):
+        self.step += 1
+        if self.step == 1:
+            neighbour_values = [
+                p[1] for p in inbox.values() if p and p[0] == "y"
+            ]
+            allowed = isinstance(self.x, ForbiddenInput) and self.x.allowed(
+                self.y_hat
+            )
+            self.ok = allowed and all(
+                v != self.y_hat for v in neighbour_values
+            )
+            return Broadcast(("ok", self.ok, self.y_hat))
+        used = [
+            p[2]
+            for p in inbox.values()
+            if p and p[0] == "ok" and p[1]
+        ]
+        if self.ok:
+            self.finish(("prune", None))
+            return None
+        if isinstance(self.x, ForbiddenInput):
+            self.finish(("keep", self.x.without(used)))
+        else:
+            self.finish(KEEP)
+        return None
+
+
+class ForbiddenPruning(PruningAlgorithm):
+    """The Section 6.3 pruner: freeze safe colors, forbid them around.
+
+    2 rounds.  Monotone for all non-decreasing graph parameters (the
+    palette bound ``g`` is input data and unchanged).
+    """
+
+    rounds = 2
+    name = "P_forbidden"
+    problem = STRONG_COLORING
+    monotone = "all non-decreasing graph parameters (g is kept)"
+
+    def algorithm(self):
+        return LocalAlgorithm(name=self.name, process=_ForbiddenPruneProcess)
+
+
+class ForbiddenColoringProcess(NodeProcess):
+    """Linial ordering then slot-wise greedy allowed-color choice."""
+
+    __slots__ = ("steps", "index", "color", "slot", "taken", "x")
+
+    def __init__(self, ctx):
+        super().__init__(ctx)
+        m_guess = ctx.guess("m")
+        delta_guess = max(0, int(ctx.guess("Delta")))
+        self.x = ctx.input if isinstance(ctx.input, ForbiddenInput) else ForbiddenInput(delta_guess + 1)
+        self.steps, _ = linial_schedule(m_guess, delta_guess)
+        self.index = 0
+        self.color = initial_color(ctx) - 1
+        self.slot = None
+        self.taken = set()
+
+    def start(self):
+        if self.steps:
+            return Broadcast(("lc", self.color))
+        self.slot = 0
+        return None
+
+    def receive(self, inbox):
+        if self.slot is None:
+            q, d = self.steps[self.index]
+            neighbour_colors = [
+                p[1] for p in inbox.values() if p and p[0] == "lc"
+            ]
+            self.color = reduce_color(self.color, neighbour_colors, q, d)
+            self.index += 1
+            if self.index < len(self.steps):
+                return Broadcast(("lc", self.color))
+            self.slot = 0
+            return None
+        for payload in inbox.values():
+            if payload and payload[0] == "pick":
+                self.taken.add(payload[1])
+        if self.slot == self.color:
+            choice = None
+            for candidate in range(1, self.x.g + 1):
+                if candidate in self.taken:
+                    continue
+                if candidate in self.x.forbidden:
+                    continue
+                choice = candidate
+                break
+            if choice is None:
+                choice = 1  # capacity violated only under bad guesses
+            self.finish(choice)
+            return Broadcast(("pick", choice))
+        self.slot += 1
+        return None
+
+
+def forbidden_coloring():
+    """The non-uniform strong-coloring box (requires m̃, Δ̃)."""
+    return LocalAlgorithm(
+        name="forbidden-coloring",
+        process=ForbiddenColoringProcess,
+        requires=("m", "Delta"),
+    )
+
+
+def forbidden_coloring_bound():
+    """Declared ``O(Δ̃² + log* m̃)`` bound (Linial + one slot sweep)."""
+    return AdditiveBound(
+        [
+            custom(
+                "Delta",
+                lambda d: linial_fixpoint_palette(max(0, int(d))) + 2,
+                "K0(Delta)+2",
+            ),
+            custom(
+                "m", lambda m: 2 * linial_steps_upper(m), "2*(logstar m + 4)"
+            ),
+        ],
+        constant=2,
+        label="forbidden-coloring rounds",
+    )
+
+
+def forbidden_coloring_nonuniform():
+    """Theorem 1 input for the Section 6.3 uniform strong coloring."""
+    return NonUniform(
+        forbidden_coloring(),
+        forbidden_coloring_bound(),
+        kind="deterministic",
+        default_output=0,
+        name="forbidden-coloring",
+    )

@@ -1,0 +1,73 @@
+"""Centralized greedy baselines (test oracles and sanity cross-checks).
+
+None of these are distributed algorithms; they provide known-correct
+solutions to compare verifier behaviour against, and quick feasibility
+witnesses in tests and benches.
+"""
+
+from __future__ import annotations
+
+
+def greedy_mis(graph, order=None):
+    """Greedy MIS by identity order; returns the 0/1 output vector."""
+    order = order or sorted(graph.nodes, key=lambda u: graph.ident[u])
+    chosen = set()
+    blocked = set()
+    for u in order:
+        if u in blocked:
+            continue
+        chosen.add(u)
+        blocked.update(graph.neighbors(u))
+    return {u: 1 if u in chosen else 0 for u in graph.nodes}
+
+
+def greedy_coloring(graph, order=None):
+    """Greedy (deg+1)-coloring by identity order (colors ≥ 1)."""
+    order = order or sorted(graph.nodes, key=lambda u: graph.ident[u])
+    colors = {}
+    for u in order:
+        used = {colors[v] for v in graph.neighbors(u) if v in colors}
+        color = 1
+        while color in used:
+            color += 1
+        colors[u] = color
+    return colors
+
+
+def greedy_matching(graph):
+    """Greedy maximal matching; returns the paper's value encoding."""
+    matched = {}
+    for u, v in sorted(
+        graph.edges(), key=lambda e: (graph.ident[e[0]], graph.ident[e[1]])
+    ):
+        if u not in matched and v not in matched:
+            matched[u] = v
+            matched[v] = u
+    outputs = {}
+    for u in graph.nodes:
+        if u in matched:
+            a, b = sorted((graph.ident[u], graph.ident[matched[u]]))
+            outputs[u] = ("M", a, b)
+        else:
+            outputs[u] = ("U", graph.ident[u])
+    return outputs
+
+
+def greedy_edge_coloring(graph):
+    """Greedy proper edge coloring (≤ 2Δ-1 colors)."""
+    colors = {}
+    for u, v in sorted(
+        graph.edges(), key=lambda e: (graph.ident[e[0]], graph.ident[e[1]])
+    ):
+        used = set()
+        for w in (u, v):
+            for x in graph.neighbors(w):
+                key = (w, x) if graph.ident[w] < graph.ident[x] else (x, w)
+                if key in colors:
+                    used.add(colors[key])
+        color = 1
+        while color in used:
+            color += 1
+        key = (u, v) if graph.ident[u] < graph.ident[v] else (v, u)
+        colors[key] = color
+    return colors

@@ -1,0 +1,78 @@
+"""Hash-Luby: the n-only deterministic-given-IDs MIS (substitution D2).
+
+Stands in for Panconesi–Srinivasan's ``2^O(√log n)`` network-decomposition
+MIS in Table 1 row 2.  Priorities are *deterministic* hashes of
+``(identity, phase)``, so the algorithm consumes no random bits and — like
+PS96 — its code uses only a guess for ``n`` (for its self-truncation
+schedule).  Under the library's identity schemes the hashed priorities
+behave like fresh randomness and the algorithm decides every node within
+``O(log n)`` phases; the declared bound is the deliberately generous
+``O(log² ñ)``.
+
+What this substitution keeps and loses is spelled out in DESIGN.md (D2).
+The essential safety property: if an adversarial identity assignment ever
+defeated the hash, the output would merely be an incorrect tentative
+vector — the pruning loop detects it and iterates, so every *uniform*
+algorithm built from this box remains correct with certainty.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from ..core.bounds import AdditiveBound, log2_squared
+from ..core.transformer import NonUniform
+from ..local.algorithm import LocalAlgorithm
+from .luby import NOT_IN_SET, LubyProcess
+
+
+def _hash_priority(ctx, phase):
+    material = f"{ctx.ident}|{phase}".encode()
+    digest = hashlib.blake2b(material, digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+#: Phase schedule: ⌈log2 ñ⌉² phases is far beyond the observed O(log n).
+HL_PHASE_FACTOR = 2
+HL_PHASE_CONSTANT = 8
+
+
+def hl_phases(n_guess):
+    bits = max(1, (max(1, int(n_guess))).bit_length())
+    return HL_PHASE_FACTOR * bits * bits + HL_PHASE_CONSTANT
+
+
+def hash_luby_mis():
+    """The n-only MIS box: deterministic given identities."""
+
+    def process(ctx):
+        return LubyProcess(
+            ctx, _hash_priority, phase_budget=hl_phases(ctx.guess("n"))
+        )
+
+    return LocalAlgorithm(
+        name="hash-luby-mis",
+        process=process,
+        requires=("n",),
+        randomized=False,
+    )
+
+
+def hash_luby_bound():
+    """Declared bound ``O(log² ñ)`` (2 rounds per phase + slack)."""
+    return AdditiveBound(
+        [log2_squared("n", 2 * HL_PHASE_FACTOR)],
+        constant=2 * HL_PHASE_CONSTANT + 4,
+        label="hash-luby rounds",
+    )
+
+
+def hash_luby_nonuniform():
+    """Theorem 1 input for Table 1 row 2 (n-only deterministic MIS)."""
+    return NonUniform(
+        hash_luby_mis(),
+        hash_luby_bound(),
+        kind="deterministic",
+        default_output=NOT_IN_SET,
+        name="hash-luby-mis",
+    )

@@ -1,0 +1,194 @@
+"""λ(Δ+1)-coloring: the time/colors tradeoff (Table 1 row 5).
+
+From Linial's ``O(Δ̃²)`` palette, a *single* parallel group-reduction
+phase with λ groups compresses to ``≤ λ(Δ̃+1)`` colors in
+``⌈K/λ⌉ = O(Δ̃²/λ)`` rounds: more colors → proportionally less time.
+When ``λ(Δ̃+1)`` already exceeds the Linial palette the reduction is
+skipped and the tradeoff's fast endpoint is pure Linial — the uniform
+``O(Δ²)``-coloring in ``O(log* n)`` of Corollary 1(iii).
+
+Deviation D3 (DESIGN.md): Kuhn '09 reaches ``O(Δ/λ + log* n)`` through
+defective colorings; our reduction gives ``O(Δ²/λ + log* m)``.  The
+tradeoff direction and the λ = Θ(Δ) endpoint match the paper exactly.
+
+These algorithms are the base boxes for Theorem 5 (they accept initial
+colors through ``ctx.input["color"]`` and treat ``m̃`` as a bound on the
+color space, the Section 5.2 convention).
+"""
+
+from __future__ import annotations
+
+from ..core.bounds import AdditiveBound, custom
+from ..core.functions import GrowthFunction
+from ..core.transformer import NonUniform
+from ..local.algorithm import LocalAlgorithm, NodeProcess
+from ..local.message import Broadcast
+from ..mathutils import int_ceil_div
+from .linial import (
+    initial_color,
+    linial_fixpoint_palette,
+    linial_schedule,
+    linial_steps_upper,
+    reduce_color,
+)
+
+
+class LambdaColoringProcess(NodeProcess):
+    """Linial stages, then one λ-group greedy compression phase."""
+
+    __slots__ = (
+        "lam",
+        "delta",
+        "steps",
+        "palette",
+        "color",
+        "index",
+        "group",
+        "rank",
+        "slot",
+        "taken",
+        "group_count",
+    )
+
+    def __init__(self, ctx, lam):
+        super().__init__(ctx)
+        self.lam = lam
+        m_guess = ctx.guess("m")
+        self.delta = max(0, int(ctx.guess("Delta")))
+        self.steps, self.palette = linial_schedule(m_guess, self.delta)
+        self.color = initial_color(ctx) - 1
+        self.index = 0
+        self.group = None
+        self.rank = None
+        self.slot = 0
+        self.taken = set()
+        self.group_count = None
+
+    def _reduction_needed(self):
+        return self.lam * (self.delta + 1) < self.palette
+
+    def _enter_reduction(self):
+        if not self._reduction_needed():
+            self.finish(self.color + 1)
+            return
+        group_size = int_ceil_div(self.palette, self.lam)
+        self.group = self.color // group_size
+        self.rank = self.color % group_size
+        self.group_count = group_size
+        self.slot = 0
+
+    def start(self):
+        if self.steps:
+            return Broadcast(("lc", self.color))
+        self._enter_reduction()
+        return None
+
+    def receive(self, inbox):
+        if self.index < len(self.steps):
+            q, d = self.steps[self.index]
+            neighbour_colors = [
+                p[1] for p in inbox.values() if p and p[0] == "lc"
+            ]
+            self.color = reduce_color(self.color, neighbour_colors, q, d)
+            self.index += 1
+            if self.index < len(self.steps):
+                return Broadcast(("lc", self.color))
+            self._enter_reduction()
+            return None
+        for payload in inbox.values():
+            if payload and payload[0] == "gr" and payload[1] == self.group:
+                self.taken.add(payload[2])
+        if self.slot == self.rank:
+            value = 0
+            while value in self.taken and value <= self.delta:
+                value += 1
+            if value > self.delta:
+                value = 0  # bad guesses: arbitrary output
+            self.finish(self.group * (self.delta + 1) + value + 1)
+            return Broadcast(("gr", self.group, value))
+        self.slot += 1
+        return None
+
+
+def lambda_coloring(lam):
+    """λ(Δ̃+1)-coloring algorithm (λ ≥ 1 fixed, requires m̃ and Δ̃)."""
+    if lam < 1:
+        raise ValueError("λ must be ≥ 1")
+    return LocalAlgorithm(
+        name=f"lambda{lam}-coloring",
+        process=lambda ctx: LambdaColoringProcess(ctx, lam),
+        requires=("m", "Delta"),
+    )
+
+
+def lambda_coloring_rounds(lam, m_guess, delta_guess):
+    """Exact schedule length for given guesses."""
+    steps, palette = linial_schedule(m_guess, delta_guess)
+    if lam * (delta_guess + 1) >= palette:
+        return len(steps)
+    return len(steps) + int_ceil_div(palette, lam)
+
+
+def lambda_coloring_bound(lam):
+    """Declared ``O(Δ̃²/λ) + O(log* m̃)`` bound (additive, s_f = 1)."""
+    return AdditiveBound(
+        [
+            custom(
+                "Delta",
+                lambda d: int_ceil_div(
+                    linial_fixpoint_palette(max(0, int(d))), lam
+                )
+                + 2,
+                f"ceil(K0/λ={lam})",
+            ),
+            custom(
+                "m", lambda m: 2 * linial_steps_upper(m), "2*(logstar m + 4)"
+            ),
+        ],
+        constant=2,
+        label=f"lambda{lam}-coloring rounds",
+    )
+
+
+def lambda_colors_bound(lam):
+    """g(Δ) for Theorem 5: ``min(λ(Δ+1), Linial fixpoint palette)``."""
+    return GrowthFunction(
+        lambda x: min(lam * (x + 1), linial_fixpoint_palette(x)),
+        alpha=24,
+        name=f"min({lam}(Δ+1), O(Δ²))",
+    )
+
+
+def lambda_coloring_nonuniform(lam):
+    """Theorem 1 / Theorem 5 input for the λ(Δ+1)-coloring row."""
+    return NonUniform(
+        lambda_coloring(lam),
+        lambda_coloring_bound(lam),
+        kind="deterministic",
+        default_output=0,
+        name=f"lambda{lam}-coloring",
+    )
+
+
+def linial_scheme():
+    """The pure-Linial endpoint packaged for Theorem 5.
+
+    Returns ``(algorithm, bound, g)`` with ``g(Δ) = O(Δ²)`` — the
+    Corollary 1(iii) headline: a uniform O(Δ²)-coloring in O(log* n).
+    """
+    from .linial import linial_coloring
+
+    bound = AdditiveBound(
+        [
+            custom("Delta", lambda d: 2.0, "O(1) in Delta"),
+            custom(
+                "m", lambda m: 2 * linial_steps_upper(m), "2*(logstar m + 4)"
+            ),
+        ],
+        constant=2,
+        label="linial rounds",
+    )
+    g = GrowthFunction(
+        lambda x: linial_fixpoint_palette(x), alpha=24, name="O(Δ²) palette"
+    )
+    return linial_coloring(), bound, g

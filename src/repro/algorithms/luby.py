@@ -1,0 +1,151 @@
+"""Luby's randomized MIS (Table 1's uniform baseline, rows [1, 30]).
+
+The random-priority variant: each phase (two rounds) every undecided
+node draws a fresh random priority, joins the MIS when it beats all
+undecided neighbours, and retires its neighbours.  The algorithm is
+**uniform** — no global knowledge whatsoever — and Las Vegas: a node
+terminates exactly when its membership is settled, after O(log n) rounds
+in expectation and with high probability.
+
+Phase protocol (ties broken by identity, so priorities are totally
+ordered):
+
+* bid round — undecided nodes broadcast ``(bid, r, Id)``;
+* decision round — a node beating every received bid joins, broadcasts
+  ``(win,)`` and terminates with output 1; nodes hearing a ``win`` from a
+  neighbour terminate with output 0; the rest bid again.
+
+A node's set of *undecided* neighbours is exactly the set of bids it
+received this phase, so no explicit liveness tracking is needed.
+
+:func:`luby_mc` packages the self-truncating variant: run for
+``rounds(ñ)`` rounds and output 0 when still undecided — a *weak
+Monte-Carlo* algorithm in the paper's sense (Section 2), the input class
+of Theorem 2.  Its priorities come from ``ctx.rng``; see
+:mod:`repro.algorithms.hash_luby` for the deterministic-given-IDs twin.
+"""
+
+from __future__ import annotations
+
+from ..core.bounds import AdditiveBound, log2_of
+from ..core.transformer import NonUniform
+from ..local.algorithm import LocalAlgorithm, NodeProcess
+from ..local.message import Broadcast
+
+#: Default output forced on undecided nodes by truncation.
+NOT_IN_SET = 0
+
+
+class LubyProcess(NodeProcess):
+    """One node of the random-priority MIS."""
+
+    __slots__ = ("priority_source", "phase_budget", "phases", "bidding", "bid")
+
+    def __init__(self, ctx, priority_source, phase_budget=None):
+        super().__init__(ctx)
+        self.priority_source = priority_source
+        self.phase_budget = phase_budget
+        self.phases = 0
+        self.bidding = True
+        self.bid = None
+
+    def _draw(self):
+        self.phases += 1
+        self.bid = (self.priority_source(self.ctx, self.phases), self.ctx.ident)
+        return Broadcast(("bid",) + self.bid)
+
+    def start(self):
+        if self.ctx.degree == 0:
+            self.finish(1)
+            return None
+        return self._draw()
+
+    def receive(self, inbox):
+        if self.bidding:
+            rivals = [
+                (payload[1], payload[2])
+                for payload in inbox.values()
+                if payload and payload[0] == "bid"
+            ]
+            if all(self.bid < rival for rival in rivals):
+                self.finish(1)
+                return Broadcast(("win",))
+            self.bidding = False
+            return None
+        # decision round
+        if any(payload and payload[0] == "win" for payload in inbox.values()):
+            self.finish(0)
+            return None
+        if self.phase_budget is not None and self.phases >= self.phase_budget:
+            self.finish(NOT_IN_SET)
+            return None
+        self.bidding = True
+        return self._draw()
+
+
+def _random_priority(ctx, phase):
+    return ctx.rng.getrandbits(62)
+
+
+def luby_mis():
+    """The uniform Las Vegas MIS (no parameters, certain correctness)."""
+    return LocalAlgorithm(
+        name="luby-mis",
+        process=lambda ctx: LubyProcess(ctx, _random_priority),
+        requires=(),
+        randomized=True,
+    )
+
+
+#: Phase budget multiplier for the Monte-Carlo truncation; calibrated so
+#: that the 1/2 guarantee holds with room to spare on the test suite.
+MC_PHASE_FACTOR = 4
+MC_PHASE_CONSTANT = 6
+
+
+def mc_phases(n_guess):
+    """Phase budget of the truncated variant for a guess ñ."""
+    bits = max(1, (max(1, int(n_guess))).bit_length())
+    return MC_PHASE_FACTOR * bits + MC_PHASE_CONSTANT
+
+
+def luby_mc():
+    """Self-truncating Luby: a weak Monte-Carlo MIS requiring ñ.
+
+    Runs ``mc_phases(ñ)`` phases; undecided nodes output 0, so with
+    probability ≥ 1/2 (when ñ ≥ n) the output is a MIS and otherwise it
+    is near-miss garbage for the pruner to sort out.
+    """
+
+    def process(ctx):
+        return LubyProcess(
+            ctx, _random_priority, phase_budget=mc_phases(ctx.guess("n"))
+        )
+
+    return LocalAlgorithm(
+        name="luby-mc",
+        process=process,
+        requires=("n",),
+        randomized=True,
+    )
+
+
+def luby_mc_bound():
+    """Declared bound: 2 rounds per phase plus the decision round."""
+    return AdditiveBound(
+        [log2_of("n", 2 * MC_PHASE_FACTOR)],
+        constant=2 * MC_PHASE_CONSTANT + 4,
+        label="luby-mc rounds",
+    )
+
+
+def luby_mc_nonuniform():
+    """Theorem 2 input: the truncated Luby as a packaged weak MC box."""
+    return NonUniform(
+        luby_mc(),
+        luby_mc_bound(),
+        kind="weak-monte-carlo",
+        guarantee=0.5,
+        default_output=NOT_IN_SET,
+        name="luby-mc",
+    )

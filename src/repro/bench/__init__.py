@@ -1,0 +1,22 @@
+"""Experiment harness shared by the ``benchmarks/`` directory."""
+
+from .harness import (
+    RowMeasurement,
+    measure_nonuniform,
+    measure_row,
+    write_report,
+)
+from .reporting import format_table, growth_factors
+from .workloads import WORKLOADS, build_graph, sized_suite
+
+__all__ = [
+    "RowMeasurement",
+    "WORKLOADS",
+    "build_graph",
+    "format_table",
+    "growth_factors",
+    "measure_nonuniform",
+    "measure_row",
+    "sized_suite",
+    "write_report",
+]

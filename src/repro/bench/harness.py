@@ -1,0 +1,150 @@
+"""Measurement core: uniform vs non-uniform-with-correct-guesses.
+
+The reproduced quantity per Table-1 row is the pair
+
+* ``rounds(non-uniform, correct guesses Γ*)`` — what the paper's cited
+  algorithm costs when every node is told the true global parameters;
+* ``rounds(uniform, no knowledge)`` — what the transformed algorithm
+  costs with empty inputs.
+
+Theorems 1–3 predict ``uniform / non-uniform = O(s_f(f*))`` — a constant
+for additive bounds, ``O(log f*)`` for product bounds.  Every
+measurement also re-verifies both outputs with the row's problem.
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..core.domain import PhysicalDomain
+from ..local.algorithm import HostAlgorithm
+from ..local.runner import run
+from ..params import actual_parameters
+
+
+class RowMeasurement:
+    """One (row, graph) measurement."""
+
+    __slots__ = (
+        "label",
+        "n",
+        "delta",
+        "params",
+        "nonuniform_rounds",
+        "nonuniform_ok",
+        "uniform_rounds",
+        "uniform_ok",
+        "steps",
+    )
+
+    def __init__(self, label, n, delta, params):
+        self.label = label
+        self.n = n
+        self.delta = delta
+        self.params = params
+        self.nonuniform_rounds = None
+        self.nonuniform_ok = None
+        self.uniform_rounds = None
+        self.uniform_ok = None
+        self.steps = None
+
+    @property
+    def ratio(self):
+        if not self.nonuniform_rounds:
+            return float("inf")
+        return self.uniform_rounds / self.nonuniform_rounds
+
+    def row(self):
+        return [
+            self.label,
+            self.n,
+            self.delta,
+            self.nonuniform_rounds,
+            "ok" if self.nonuniform_ok else "FAIL",
+            self.uniform_rounds,
+            "ok" if self.uniform_ok else "FAIL",
+            f"{self.ratio:.1f}",
+        ]
+
+
+HEADERS = [
+    "graph",
+    "n",
+    "Δ",
+    "nonunif rounds",
+    "valid",
+    "uniform rounds",
+    "valid",
+    "ratio",
+]
+
+
+def measure_nonuniform(nonuniform, graph, *, seed=0):
+    """Run the black box with oracle guesses; returns (rounds, outputs).
+
+    LOCAL-algorithm boxes run to self-termination (their schedules are
+    guess-determined); host orchestrations run restricted to their
+    declared budget, which is also what the aligned model charges.
+    """
+    params = actual_parameters(
+        graph, [p for p in nonuniform.bound.params]
+    )
+    for extra in nonuniform.algorithm.requires:
+        if extra not in params:
+            params.update(actual_parameters(graph, [extra]))
+    for key in params:
+        params[key] = max(1, params[key])
+    budget = nonuniform.bound.rounds(
+        {k: params[k] for k in nonuniform.bound.params}
+    )
+    box = nonuniform.algorithm
+    if isinstance(box, HostAlgorithm):
+        outputs, charged = box.run_restricted(
+            PhysicalDomain(graph),
+            budget,
+            inputs=None,
+            guesses=params,
+            seed=seed,
+            salt="oracle",
+            default_output=nonuniform.default_output,
+        )
+        return charged, outputs, params
+    result = run(
+        graph,
+        box,
+        guesses=params,
+        seed=seed,
+        salt="oracle",
+        max_rounds=budget + 8,
+    )
+    return result.rounds, result.outputs, params
+
+
+def measure_row(row, label, graph, *, seed=0):
+    """Measure one Table-1 row on one graph."""
+    nonuniform, _, uniform = row.build()
+    meas = RowMeasurement(label, graph.n, graph.max_degree, {})
+    rounds, outputs, params = measure_nonuniform(
+        nonuniform, graph, seed=seed
+    )
+    meas.params = params
+    meas.nonuniform_rounds = rounds
+    meas.nonuniform_ok = row.problem.is_solution(graph, {}, outputs)
+    result = uniform.run(graph, seed=seed)
+    meas.uniform_rounds = result.rounds
+    meas.uniform_ok = row.problem.is_solution(graph, {}, result.outputs)
+    meas.steps = len(result.steps)
+    return meas
+
+
+def write_report(name, text):
+    """Persist a bench report under ``benchmarks/out/`` and echo it."""
+    out_dir = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))))),
+        "benchmarks", "out")
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    print(text)
+    return path

@@ -1,0 +1,34 @@
+"""Plain-text reporting for the experiment harness."""
+
+from __future__ import annotations
+
+
+def format_table(headers, rows, title=None):
+    """Fixed-width text table (benches print these; EXPERIMENTS.md quotes
+    them verbatim)."""
+    headers = [str(h) for h in headers]
+    body = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in body)) if body else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in body:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def growth_factors(series):
+    """Successive ratios of a numeric series (shape diagnostics).
+
+    ``growth_factors([10, 20, 40]) == [2.0, 2.0]`` — a doubling series;
+    constant-factor claims show up as flat ratio columns.
+    """
+    factors = []
+    for a, b in zip(series, series[1:]):
+        factors.append(round(b / a, 2) if a else float("inf"))
+    return factors

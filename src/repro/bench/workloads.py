@@ -1,0 +1,51 @@
+"""Workload generators for the Table-1 experiments.
+
+Each workload maps a size to a networkx graph; identities default to the
+poly(n) scheme (assumption D8).  The suites mirror the regimes of the
+paper's rows: general sparse graphs, controlled-degree regular graphs,
+bounded-arboricity families and high-degree/low-diameter graphs.
+"""
+
+from __future__ import annotations
+
+from ..graphs import families, identifiers
+from ..local import SimGraph
+
+
+def build_graph(graph, *, seed=0):
+    """Networkx graph -> SimGraph with poly(n) identities."""
+    idents = identifiers.poly_idents(graph, seed=seed)
+    return SimGraph.from_networkx(graph, idents=idents)
+
+
+WORKLOADS = {
+    "gnp-sparse": lambda n, seed=0: families.gnp_avg_degree(n, 6.0, seed=seed),
+    "gnp-dense": lambda n, seed=0: families.gnp(n, min(0.5, 24.0 / n), seed=seed),
+    "regular-4": lambda n, seed=0: families.random_regular(
+        n if (n * 4) % 2 == 0 else n + 1, 4, seed=seed
+    ),
+    "regular-8": lambda n, seed=0: families.random_regular(
+        n if (n * 8) % 2 == 0 else n + 1, 8, seed=seed
+    ),
+    "tree": lambda n, seed=0: families.random_tree(n, seed=seed),
+    "grid": lambda n, seed=0: families.grid(
+        max(2, int(n**0.5)), max(2, int(n**0.5))
+    ),
+    "forest-3": lambda n, seed=0: families.forest_union(n, 3, seed=seed),
+    "star-noise": lambda n, seed=0: families.star_with_noise(
+        n, extra_edges=n // 2, seed=seed
+    ),
+    "udg": lambda n, seed=0: families.unit_disk(
+        n, radius=min(0.5, 2.2 / (n**0.5)), seed=seed
+    ),
+}
+
+
+def sized_suite(workload, sizes, *, seed=0):
+    """Build ``[(label, SimGraph)]`` for a workload across sizes."""
+    maker = WORKLOADS[workload]
+    suite = []
+    for n in sizes:
+        graph = maker(n, seed=seed)
+        suite.append((f"{workload}-n{graph.number_of_nodes()}", build_graph(graph, seed=seed)))
+    return suite

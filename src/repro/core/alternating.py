@@ -1,0 +1,248 @@
+"""The alternating-algorithm engine (paper Section 3.3, Figure 1).
+
+An alternating algorithm ``π((A_i), P)`` executes ``B_i = (A_i ; P)`` for
+``i = 1, 2, ...`` where each ``A_i`` runs on the instance ``(G_i, x_i)``
+left by the previous pruning step.  Observation 3.4: if the alternation
+terminates (all nodes pruned), the combined output — each node keeping
+the tentative value it was pruned with — solves the problem.
+
+:class:`AlternatingEngine` maintains the evolving ``(G_i, x_i)``, the
+combined output vector, and the round ledger.  All sub-iterations of the
+paper's Algorithms 1 and 2 have round budgets known to every node in
+advance (``c · 2^i``), so phases are globally aligned and the ledger
+charges the full budget plus the pruner's constant time — exactly the
+accounting of the proofs of Theorems 1 and 2 (deviation D7 in
+DESIGN.md).
+
+The engine records a :class:`StepRecord` per ``B`` step; the records
+render Figure 1's schematic via :func:`render_trace`.
+"""
+
+from __future__ import annotations
+
+from ..errors import ReproError
+from .domain import as_domain
+
+
+class StepRecord:
+    """One ``A_i ; P`` step of an alternation."""
+
+    __slots__ = (
+        "label",
+        "iteration",
+        "index",
+        "guesses",
+        "budget",
+        "charged",
+        "nodes_before",
+        "pruned",
+    )
+
+    def __init__(
+        self, label, iteration, index, guesses, budget, charged, nodes_before, pruned
+    ):
+        self.label = label
+        self.iteration = iteration
+        self.index = index
+        self.guesses = guesses
+        self.budget = budget
+        self.charged = charged
+        self.nodes_before = nodes_before
+        self.pruned = pruned
+
+    @property
+    def nodes_after(self):
+        return self.nodes_before - self.pruned
+
+    def __repr__(self):
+        return (
+            f"StepRecord(i={self.iteration}, j={self.index}, {self.label}, "
+            f"budget={self.budget}, {self.nodes_before}->{self.nodes_after})"
+        )
+
+
+class TransformResult:
+    """Final outcome of a transformer run.
+
+    Attributes
+    ----------
+    outputs:
+        Combined output vector (Observation 3.4's gluing of per-step
+        tentative outputs over the pruned sets).
+    rounds:
+        Total rounds charged (aligned-schedule accounting).
+    steps:
+        List of :class:`StepRecord`.
+    completed:
+        False when a budget cut the run short (Theorem 4 restriction);
+        remaining nodes carry the default output.
+    """
+
+    __slots__ = ("name", "outputs", "rounds", "steps", "completed")
+
+    def __init__(self, name, outputs, rounds, steps, completed):
+        self.name = name
+        self.outputs = outputs
+        self.rounds = rounds
+        self.steps = steps
+        self.completed = completed
+
+    @property
+    def iterations(self):
+        return max((s.iteration for s in self.steps), default=0)
+
+    def __repr__(self):
+        return (
+            f"TransformResult({self.name!r}, rounds={self.rounds}, "
+            f"steps={len(self.steps)}, completed={self.completed})"
+        )
+
+
+class AlternatingEngine:
+    """Mutable state of one alternation: domain, inputs, outputs, ledger."""
+
+    def __init__(self, domain, inputs, pruning, *, seed=0, default_output=0):
+        self.domain = as_domain(domain)
+        self.inputs = dict(inputs or {})
+        self.pruning = pruning
+        self.seed = seed
+        self.default_output = default_output
+        self.outputs = {}
+        self.rounds = 0
+        self.steps = []
+
+    @property
+    def active(self):
+        return self.domain.n
+
+    @property
+    def done(self):
+        return self.domain.n == 0
+
+    def charge(self, rounds):
+        """Charge rounds outside a step (e.g. Theorem 5 phase plumbing)."""
+        self.rounds += rounds
+
+    def step_with(self, runner, *, label, iteration, index, guesses, budget):
+        """One ``B = (A ; P)`` step via a caller-supplied runner.
+
+        ``runner(domain, inputs, salt)`` must return
+        ``(tentative_outputs, rounds_charged)`` with every active node
+        carrying a tentative value.  Returns the number of pruned nodes.
+        """
+        if self.done:
+            return 0
+        salt = f"{label}|{iteration}|{index}"
+        tentative, charged = runner(self.domain, self.inputs, salt)
+        self.rounds += charged
+        prune = self.pruning.apply(
+            self.domain,
+            self.inputs,
+            tentative,
+            seed=self.seed,
+            salt=f"{salt}|prune",
+        )
+        self.rounds += prune.rounds
+        for u in prune.pruned:
+            self.outputs[u] = tentative[u]
+        record = StepRecord(
+            label=label,
+            iteration=iteration,
+            index=index,
+            guesses=dict(guesses or {}),
+            budget=budget,
+            charged=charged + prune.rounds,
+            nodes_before=self.domain.n,
+            pruned=len(prune.pruned),
+        )
+        self.steps.append(record)
+        survivors = [u for u in self.domain.nodes if u not in prune.pruned]
+        self.domain = self.domain.subgraph(survivors)
+        self.inputs = {u: prune.new_inputs.get(u) for u in survivors}
+        return len(prune.pruned)
+
+    def step_algorithm(self, algorithm, *, iteration, index, guesses, budget):
+        """Standard step: run ``algorithm`` restricted to ``budget`` rounds.
+
+        Dispatches on the black box's kind: plain LOCAL algorithms go
+        through the domain's restricted runner, host-level orchestrations
+        (:class:`~repro.local.algorithm.HostAlgorithm`) restrict
+        themselves.
+        """
+        from ..local.algorithm import HostAlgorithm
+
+        def runner(domain, inputs, salt):
+            if isinstance(algorithm, HostAlgorithm):
+                return algorithm.run_restricted(
+                    domain,
+                    budget,
+                    inputs=inputs,
+                    guesses=guesses,
+                    seed=self.seed,
+                    salt=salt,
+                    default_output=self.default_output,
+                )
+            return domain.run_restricted(
+                algorithm,
+                budget,
+                inputs=inputs,
+                guesses=guesses,
+                seed=self.seed,
+                salt=salt,
+                default_output=self.default_output,
+            )
+
+        return self.step_with(
+            runner,
+            label=algorithm.name,
+            iteration=iteration,
+            index=index,
+            guesses=guesses,
+            budget=budget,
+        )
+
+    def finalize(self, name, *, completed=True):
+        """Build the result; unpruned nodes get the default output."""
+        outputs = dict(self.outputs)
+        for u in self.domain.nodes:
+            outputs[u] = self.default_output
+        return TransformResult(name, outputs, self.rounds, self.steps, completed)
+
+
+class AlternationDiverged(ReproError):
+    """An alternation exhausted its iteration cap without pruning all nodes."""
+
+
+def render_trace(result, *, max_steps=40):
+    """ASCII rendering of Figure 1 for an actual execution.
+
+    Each line is one ``B_i = (A_i ; P)`` box: the instance entering it,
+    the guesses used, the budget, and the pruned/surviving split.
+    """
+    lines = [
+        f"alternating trace of {result.name}: total rounds = {result.rounds}",
+        "(G1,x1)",
+    ]
+    for step in result.steps[:max_steps]:
+        guess_text = (
+            ",".join(f"{k}={v}" for k, v in sorted(step.guesses.items()))
+            or "uniform"
+        )
+        lines.append(
+            f"  | B(i={step.iteration},j={step.index}): "
+            f"A={step.label} [{guess_text}] restricted to {step.budget} "
+            f"rounds ; P prunes {step.pruned}/{step.nodes_before}"
+        )
+        lines.append(
+            f"  v (G,x) with {step.nodes_after} node(s), "
+            f"{step.charged} round(s) charged"
+        )
+    if len(result.steps) > max_steps:
+        lines.append(f"  ... {len(result.steps) - max_steps} more steps")
+    lines.append(
+        "(∅,∅) — all nodes pruned; combined output is a solution "
+        "(Observation 3.4)"
+        if result.completed
+        else "budget exhausted before termination"
+    )
+    return "\n".join(lines)

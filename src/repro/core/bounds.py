@@ -1,0 +1,393 @@
+"""Declared runtime bounds and their set-sequences (paper Section 4.2).
+
+Every non-uniform algorithm in the library ships with a *declared runtime
+bound*: a non-decreasing function ``f`` of guessed parameters that truly
+upper-bounds the implementation's running time whenever the guesses are
+good.  The transformers consume nothing but this object — exactly the
+paper's interface — through three operations:
+
+* ``value(guesses)`` — evaluate ``f``;
+* ``set_sequence(i)`` — a *bounded set-sequence* ``S_f(i)``: a finite set
+  of guess vectors such that any ``y`` with ``f(y) ≤ i`` is dominated by
+  some member, and every member ``x`` has ``f(x) ≤ c·i``;
+* ``sequence_number(i)`` — the sequence-number function ``s_f`` bounding
+  ``|S_f(i)|``.
+
+Observation 4.1 gives the two constructions implemented here:
+
+* :class:`AdditiveBound` — ``f = const + Σ f_k(x_k)``: ``s_f ≡ 1`` (a
+  single vector of per-coordinate inversions);
+* :class:`ProductBound` — ``f = scale · f_1(x_1) · f_2(x_2)`` with
+  ``f_1, f_2 ≥ 1`` ascending: ``s_f(i) = ⌈log i⌉ + O(1)`` (a geometric
+  grid of inversion pairs).
+
+:class:`MinBound` represents ``min``-shaped bounds, which — as the paper
+notes before Theorem 4 — admit *no* sequence-number function; asking it
+for a set-sequence raises, and Theorem 4's portfolio construction is the
+intended consumer.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ParameterError
+from ..mathutils import ceil_log2, log_star
+
+#: Largest guess value the inverters will return.  Guesses are fed to
+#: algorithms as schedule parameters, never materialized as data, so an
+#: astronomically large guess is harmless.
+GUESS_CAP = 2**96
+
+
+class Atom:
+    """A named, non-negative, non-decreasing scalar function ``f_k(x_k)``."""
+
+    __slots__ = ("param", "fn", "label")
+
+    def __init__(self, param, fn, label):
+        self.param = param
+        self.fn = fn
+        self.label = label
+
+    def __call__(self, value):
+        result = self.fn(value)
+        if result < 0:
+            raise ParameterError(f"atom {self.label} went negative at {value}")
+        return result
+
+    def invert(self, budget):
+        """Largest integer ``y ≥ 1`` with ``f(y) ≤ budget`` (None if none).
+
+        Exponential search then bisection; capped at :data:`GUESS_CAP`
+        for atoms that plateau (``log*`` and friends).
+        """
+        if self(1) > budget:
+            return None
+        hi = 1
+        while hi < GUESS_CAP and self(hi * 2) <= budget:
+            hi *= 2
+        if hi >= GUESS_CAP:
+            return GUESS_CAP
+        lo = hi  # f(lo) <= budget < f(2*lo)
+        hi = hi * 2
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if self(mid) <= budget:
+                lo = mid
+            else:
+                hi = mid
+        return lo
+
+    def __repr__(self):
+        return f"Atom({self.label})"
+
+
+# ---------------------------------------------------------------------------
+# atom factories: the vocabulary the paper's bounds are written in
+# ---------------------------------------------------------------------------
+
+def linear(param, mult=1.0):
+    """``mult · x`` (e.g. the Δ term of O(Δ + log* n))."""
+    return Atom(param, lambda x: mult * x, f"{mult}*{param}")
+
+
+def affine(param, mult=1.0, shift=0.0):
+    """``mult · x + shift``."""
+    return Atom(param, lambda x: mult * x + shift, f"{mult}*{param}+{shift}")
+
+
+def log2_of(param, mult=1.0):
+    """``mult · ⌈log2(x+1)⌉``."""
+    return Atom(
+        param,
+        lambda x: mult * ceil_log2(x + 1),
+        f"{mult}*log2({param})",
+    )
+
+
+def log2_squared(param, mult=1.0):
+    """``mult · ⌈log2(x+1)⌉²`` (hash-Luby's declared n-only bound)."""
+    return Atom(
+        param,
+        lambda x: mult * ceil_log2(x + 1) ** 2,
+        f"{mult}*log2^2({param})",
+    )
+
+
+def logstar_of(param, mult=1.0):
+    """``mult · (log* x + 1)`` — the ubiquitous Linial term."""
+    return Atom(
+        param,
+        lambda x: mult * (log_star(x) + 1),
+        f"{mult}*logstar({param})",
+    )
+
+
+def xlog2x(param, mult=1.0):
+    """``mult · x · (⌈log2(x+1)⌉ + 1)`` (Kuhn–Wattenhofer reductions)."""
+    return Atom(
+        param,
+        lambda x: mult * x * (ceil_log2(x + 1) + 1),
+        f"{mult}*{param}log{param}",
+    )
+
+
+def power_of(param, exponent, mult=1.0):
+    """``mult · x^exponent``."""
+    return Atom(
+        param,
+        lambda x: mult * float(x) ** exponent,
+        f"{mult}*{param}^{exponent}",
+    )
+
+
+def custom(param, fn, label):
+    """Escape hatch for bespoke non-decreasing terms."""
+    return Atom(param, fn, label)
+
+
+# ---------------------------------------------------------------------------
+# bounds
+# ---------------------------------------------------------------------------
+
+class RuntimeBound:
+    """Base class: named-parameter, non-decreasing runtime bound."""
+
+    params = ()
+
+    def value(self, guesses):
+        """Evaluate ``f`` on a guess mapping (must cover ``params``)."""
+        raise NotImplementedError
+
+    def rounds(self, guesses):
+        """``⌈f⌉`` as an integer round count."""
+        return int(math.ceil(self.value(guesses)))
+
+    @property
+    def bounding_constant(self):
+        """The ``c`` with ``f(x) ≤ c·i`` for all ``x ∈ S_f(i)``."""
+        raise NotImplementedError
+
+    def set_sequence(self, i):
+        """``S_f(i)`` as a list of guess dicts (may be empty)."""
+        raise NotImplementedError
+
+    def sequence_number(self, i):
+        """``s_f(i)``, an upper bound on ``|S_f(i)|`` (moderately slow)."""
+        raise NotImplementedError
+
+    def freeze(self, param, value):
+        """Bound obtained by fixing one parameter (Theorem 5 layering)."""
+        return FrozenBound(self, {param: value})
+
+    def _require(self, guesses):
+        missing = [p for p in self.params if p not in guesses]
+        if missing:
+            raise ParameterError(f"bound needs parameters {missing}")
+
+
+class AdditiveBound(RuntimeBound):
+    """``f(x) = const + Σ_k f_k(x_k)`` — sequence number 1 (Obs. 4.1).
+
+    The atoms' parameters must be distinct.  ``S_f(i)`` is the single
+    vector of coordinate-wise inversions ``x_k = max{y : f_k(y) ≤ i}``
+    (empty when some coordinate admits no value).
+    """
+
+    def __init__(self, atoms, constant=0.0, label=None):
+        self.atoms = tuple(atoms)
+        self.constant = float(constant)
+        names = [a.param for a in self.atoms]
+        if len(set(names)) != len(names):
+            raise ParameterError("additive atoms must have distinct parameters")
+        self.params = tuple(names)
+        self.label = label or " + ".join(
+            [a.label for a in self.atoms] + [f"{constant}"]
+        )
+
+    def value(self, guesses):
+        self._require(guesses)
+        return self.constant + sum(a(guesses[a.param]) for a in self.atoms)
+
+    @property
+    def bounding_constant(self):
+        # Members invert at budget i - const, so
+        # f(x) ≤ const + ℓ·(i - const) ≤ max(1, ℓ)·i.
+        return max(1, len(self.atoms))
+
+    def set_sequence(self, i):
+        budget = i - self.constant
+        if budget < 0:
+            return []
+        vector = {}
+        for atom in self.atoms:
+            inverted = atom.invert(budget)
+            if inverted is None:
+                return []
+            vector[atom.param] = inverted
+        return [vector]
+
+    def sequence_number(self, i):
+        return 1
+
+    def __repr__(self):
+        return f"AdditiveBound({self.label})"
+
+
+class ProductBound(RuntimeBound):
+    """``f(x) = scale · f_1(x_1) · f_2(x_2)`` with ascending ``f_k ≥ 1``.
+
+    ``S_f(i)``: for ``j ∈ [0, L+1]`` (``L = ⌈log2(i/scale)⌉``) the pair
+    ``(max{y: f_1(y) ≤ 2^j}, max{y: f_2(y) ≤ 2^{L-j+1}})``; any ``y``
+    with ``f(y) ≤ i`` is dominated by the pair at
+    ``j = ⌈log2 f_1(y_1)⌉``, and members satisfy ``f ≤ 4i``.
+    """
+
+    def __init__(self, left, right, scale=1.0, label=None):
+        if left.param == right.param:
+            raise ParameterError("product atoms must have distinct parameters")
+        self.left = left
+        self.right = right
+        self.scale = float(scale)
+        self.params = (left.param, right.param)
+        self.label = label or f"{scale}*({left.label})*({right.label})"
+
+    def _checked(self, atom, value):
+        result = atom(value)
+        if result < 1.0:
+            raise ParameterError(
+                f"product atom {atom.label} must be >= 1 (got {result})"
+            )
+        return result
+
+    def value(self, guesses):
+        self._require(guesses)
+        return (
+            self.scale
+            * self._checked(self.left, guesses[self.left.param])
+            * self._checked(self.right, guesses[self.right.param])
+        )
+
+    @property
+    def bounding_constant(self):
+        return 4.0
+
+    def set_sequence(self, i):
+        budget = i / self.scale
+        if budget < 1.0:
+            return []
+        level = max(0, math.ceil(math.log2(budget)))
+        vectors = []
+        for j in range(level + 2):
+            x1 = self.left.invert(2.0**j)
+            x2 = self.right.invert(2.0 ** (level - j + 1))
+            if x1 is None or x2 is None:
+                continue
+            vectors.append({self.left.param: x1, self.right.param: x2})
+        return vectors
+
+    def sequence_number(self, i):
+        return max(1, ceil_log2(max(2, i))) + 2
+
+    def __repr__(self):
+        return f"ProductBound({self.label})"
+
+
+class FrozenBound(RuntimeBound):
+    """A bound with some parameters fixed to constants (Theorem 5)."""
+
+    def __init__(self, base, fixed):
+        self.base = base
+        self.fixed = dict(fixed)
+        self.params = tuple(p for p in base.params if p not in self.fixed)
+        self.label = f"{base!r} | {self.fixed}"
+
+    def value(self, guesses):
+        merged = dict(self.fixed)
+        merged.update({p: guesses[p] for p in self.params})
+        return self.base.value(merged)
+
+    @property
+    def bounding_constant(self):
+        return self.base.bounding_constant
+
+    def set_sequence(self, i):
+        vectors = []
+        for vector in self.base.set_sequence(i):
+            if all(vector.get(p, 0) >= v for p, v in self.fixed.items()):
+                reduced = {p: vector[p] for p in self.params}
+                vectors.append(reduced)
+        return vectors
+
+    def sequence_number(self, i):
+        return self.base.sequence_number(i)
+
+
+class MinBound(RuntimeBound):
+    """``min`` of several bounds: evaluable, but with no set-sequence.
+
+    The paper points out (Section 4.6) that ``min`` admits no bounded
+    sequence-number function — Theorem 4's portfolio is the tool for
+    these — so :meth:`set_sequence` raises.
+    """
+
+    def __init__(self, members, label=None):
+        self.members = tuple(members)
+        seen = []
+        for member in self.members:
+            for p in member.params:
+                if p not in seen:
+                    seen.append(p)
+        self.params = tuple(seen)
+        self.label = label or "min(" + ", ".join(repr(m) for m in self.members) + ")"
+
+    def value(self, guesses):
+        return min(m.value(guesses) for m in self.members)
+
+    @property
+    def bounding_constant(self):
+        raise ParameterError(
+            "min-shaped bounds have no sequence-number function "
+            "(paper Section 4.6); use the Theorem 4 portfolio"
+        )
+
+    def set_sequence(self, i):
+        raise ParameterError(
+            "min-shaped bounds have no set-sequence; use the portfolio"
+        )
+
+    def sequence_number(self, i):
+        raise ParameterError(
+            "min-shaped bounds have no sequence-number function"
+        )
+
+    def __repr__(self):
+        return f"MinBound({self.label})"
+
+
+def check_set_sequence(bound, i, samples):
+    """Test helper: verify the two set-sequence properties at level ``i``.
+
+    ``samples`` is an iterable of guess dicts; for each with
+    ``f(y) ≤ i`` some member of ``S_f(i)`` must dominate it, and every
+    member must satisfy ``f(x) ≤ c·i``.  Returns the list of failures.
+    """
+    failures = []
+    sequence = bound.set_sequence(i)
+    c = bound.bounding_constant
+    if len(sequence) > bound.sequence_number(i):
+        failures.append(
+            f"|S_f({i})| = {len(sequence)} exceeds s_f = {bound.sequence_number(i)}"
+        )
+    for x in sequence:
+        if bound.value(x) > c * i + 1e-9:
+            failures.append(f"member {x} has f = {bound.value(x)} > {c}*{i}")
+    for y in samples:
+        if bound.value(y) <= i:
+            dominated = any(
+                all(x[p] >= y[p] for p in bound.params) for x in sequence
+            )
+            if not dominated:
+                failures.append(f"sample {y} (f={bound.value(y)}) not dominated")
+    return failures

@@ -1,0 +1,164 @@
+"""Function classes of Section 2: moderately slow / increasing / fast.
+
+The paper's definitions:
+
+* ``f`` is *moderately-slow* when it is non-decreasing and there is an
+  integer α with ``α·f(i) ≥ f(2i)`` for all integers ``i ≥ 2``
+  (equivalently ``f(c·i) = O(f(i))``);
+* ``f`` is *moderately-increasing* when additionally
+  ``f(α·i) ≥ 2·f(i)``;
+* ``f`` is *moderately-fast* when it is moderately-increasing and
+  polynomially bounded with ``x < f(x)``.
+
+Theorem 5 requires the coloring-size function ``g`` to be
+moderately-fast; :class:`GrowthFunction` packages such a ``g`` with the
+inversions the layering construction needs, and the ``certify_*``
+helpers check the definitions empirically on a sampled domain (used by
+the test suite and by :class:`GrowthFunction` at construction time).
+"""
+
+from __future__ import annotations
+
+from ..errors import ParameterError
+
+
+def certify_non_decreasing(fn, domain):
+    """Empirically check monotonicity on a sorted sample of the domain."""
+    values = [fn(x) for x in domain]
+    return all(b >= a for a, b in zip(values, values[1:]))
+
+
+def certify_moderately_slow(fn, alpha, domain):
+    """Check ``α·f(i) ≥ f(2i)`` on the sample (and monotonicity)."""
+    if not certify_non_decreasing(fn, domain):
+        return False
+    return all(alpha * fn(i) >= fn(2 * i) for i in domain if i >= 2)
+
+
+def certify_moderately_increasing(fn, alpha, domain):
+    """moderately-slow plus ``f(α·i) ≥ 2·f(i)`` on the sample."""
+    if not certify_moderately_slow(fn, alpha, domain):
+        return False
+    return all(fn(alpha * i) >= 2 * fn(i) for i in domain if i >= 2)
+
+
+def certify_moderately_fast(fn, alpha, domain, poly_degree=8):
+    """moderately-increasing plus ``x < f(x) < x^poly_degree + C``."""
+    if not certify_moderately_increasing(fn, alpha, domain):
+        return False
+    return all(x < fn(x) <= x**poly_degree + fn(1) for x in domain)
+
+
+DEFAULT_DOMAIN = tuple(list(range(1, 40)) + [64, 128, 256, 1024, 4096])
+
+
+class GrowthFunction:
+    """A moderately-fast color-count function ``g`` for Theorem 5.
+
+    Parameters
+    ----------
+    fn:
+        Integer-valued non-decreasing callable with ``fn(x) > x``.
+    alpha:
+        The witness constant of the moderately-increasing property.
+    name:
+        Display name (appears in reports and bench rows).
+
+    The constructor certifies the moderately-fast definition on a sample
+    domain so misuse fails loudly at build time rather than deep inside
+    the transformer.
+    """
+
+    __slots__ = ("fn", "alpha", "name")
+
+    def __init__(self, fn, alpha, name, domain=DEFAULT_DOMAIN):
+        if not certify_moderately_fast(fn, alpha, domain):
+            raise ParameterError(
+                f"g={name} is not moderately-fast with alpha={alpha} "
+                "on the certification domain"
+            )
+        self.fn = fn
+        self.alpha = alpha
+        self.name = name
+
+    def __call__(self, x):
+        return int(self.fn(x))
+
+    def invert_doubling(self, target):
+        """``min{ℓ : g(ℓ) ≥ target}`` — the layer boundaries D_{i+1}.
+
+        Exists for any target ≤ g(GUESS range) because g tends to
+        infinity; search is exponential + bisection.
+        """
+        if self(1) >= target:
+            return 1
+        hi = 1
+        while self(hi * 2) < target:
+            hi *= 2
+        lo, hi = hi, hi * 2  # g(lo) < target <= g(hi)
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if self(mid) >= target:
+                hi = mid
+            else:
+                lo = mid
+        return hi
+
+    def layer_boundaries(self, max_degree):
+        """The D-sequence of Theorem 5: D_1 = 1, g(D_{i+1}) ≥ 2·g(D_i).
+
+        Returns boundaries ``[D_1, D_2, ...]`` extending one step past
+        ``max_degree`` so every node's degree falls in some
+        ``[D_i, D_{i+1} - 1]``.
+        """
+        boundaries = [1]
+        while boundaries[-1] <= max_degree:
+            nxt = self.invert_doubling(2 * self(boundaries[-1]))
+            if nxt <= boundaries[-1]:
+                nxt = boundaries[-1] + 1  # safety: g certified increasing
+            boundaries.append(nxt)
+        return boundaries
+
+    def layer_of(self, degree, boundaries=None):
+        """Index ``i ≥ 1`` with ``degree ∈ [D_i, D_{i+1} - 1]``.
+
+        A node computes this from its own degree alone — no global
+        knowledge involved (degree 0 nodes join layer 1).
+        """
+        d = max(1, degree)
+        i = 1
+        boundary = 1
+        while True:
+            nxt = self.invert_doubling(2 * self(boundary))
+            if nxt <= boundary:
+                nxt = boundary + 1
+            if d < nxt:
+                return i
+            boundary = nxt
+            i += 1
+
+    def __repr__(self):
+        return f"GrowthFunction({self.name})"
+
+
+def g_linear(lam):
+    """``g(x) = λ(x+1)`` for λ ≥ 2 — the λ(Δ+1)-coloring target."""
+    if lam < 2:
+        raise ParameterError("g_linear needs λ ≥ 2 so that g(x) > x")
+    return GrowthFunction(lambda x: lam * (x + 1), alpha=4, name=f"{lam}(Δ+1)")
+
+
+def g_quadratic():
+    """``g(x) = (x+1)²`` — the O(Δ²)-coloring target (Corollary 1(iii))."""
+    return GrowthFunction(lambda x: (x + 1) ** 2, alpha=4, name="(Δ+1)^2")
+
+
+def g_power(exponent, mult=1):
+    """``g(x) = ⌈mult · (x+1)^exponent⌉`` for exponent > 1."""
+    if exponent <= 1.0 and mult <= 1:
+        raise ParameterError("g_power needs growth strictly above x")
+    return GrowthFunction(
+        lambda x: int(mult * (x + 1) ** exponent) + 1,
+        alpha=8,
+        name=f"{mult}(Δ+1)^{exponent}",
+    )

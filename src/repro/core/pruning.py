@@ -1,0 +1,335 @@
+"""Pruning algorithms (paper Section 3).
+
+A pruning algorithm ``P`` is a *uniform*, constant-time local algorithm
+taking ``(G, x, ŷ)`` — instance plus tentative output — and returning an
+instance ``(G', x')`` induced on the non-pruned nodes, subject to:
+
+* **solution detection** — if ``(G, x, ŷ) ∈ Π`` then all nodes are
+  pruned;
+* **gluing** — any solution ``y'`` of ``(G', x')`` combines with ``ŷ``
+  restricted to the pruned set into a solution of ``(G, x)``.
+
+Implementations here:
+
+* :class:`RulingSetPruning` — the paper's ``P_(2,β)`` (Observation 3.2),
+  running in ``1 + β`` rounds; ``β = 1`` prunes for MIS.
+* :class:`MatchingPruning` — the paper's ``P_MM`` (Observation 3.3),
+  running in 3 rounds.  Our implementation pins down a detail the paper
+  leaves implicit: gluing is guaranteed provided output values identify
+  their emitting node (all our matching algorithms emit
+  ``("M", id_u, id_v)`` / ``("U", id_v)`` values, and the default "0" of
+  truncated runs can never form a matched pair with them).
+* :class:`SLCPruning` — the pruning algorithm for the strong
+  list-coloring problem constructed inside the proof of Theorem 5; it is
+  the one pruner that modifies inputs (survivors' lists lose the colors
+  committed by pruned neighbours).
+
+Monotonicity (Observation 3.1): the first two leave inputs untouched and
+are therefore monotone for every non-decreasing parameter; SLC pruning
+keeps the degree estimate ``Δ̂`` and is monotone for all non-decreasing
+*graph* parameters.
+"""
+
+from __future__ import annotations
+
+from ..local.algorithm import LocalAlgorithm, NodeProcess
+from ..local.message import Broadcast
+from ..problems.coloring import SLC, SLCInput
+from ..problems.matching import MAXIMAL_MATCHING
+from ..problems.mis import in_set
+from ..problems.ruling import RulingSetProblem
+
+#: Sentinel output for nodes kept in the instance with unchanged input.
+KEEP = ("keep", None)
+
+
+class PruneResult:
+    """Outcome of one pruning application."""
+
+    __slots__ = ("pruned", "new_inputs", "rounds")
+
+    def __init__(self, pruned, new_inputs, rounds):
+        self.pruned = pruned
+        self.new_inputs = new_inputs
+        self.rounds = rounds
+
+    def __repr__(self):
+        return f"PruneResult(pruned={len(self.pruned)}, rounds={self.rounds})"
+
+
+class PruningAlgorithm:
+    """Base class: constant-round uniform pruner for a problem."""
+
+    #: number of rounds the pruner needs (the paper's T0)
+    rounds = 0
+    name = "pruning"
+    #: the problem whose solution-detection/gluing properties hold
+    problem = None
+    #: human-readable monotonicity note (Observation 3.1)
+    monotone = "all non-decreasing parameters"
+
+    def algorithm(self):
+        """The pruner as a LOCAL algorithm over inputs ``(x(v), ŷ(v))``.
+
+        Outputs ``("prune", None)`` or ``("keep", new_x)``.
+        """
+        raise NotImplementedError
+
+    def apply(self, domain, inputs, tentative, *, seed=0, salt="prune"):
+        """Run the pruner on a domain; returns a :class:`PruneResult`.
+
+        The constant schedule means no node can miss the deadline; the
+        runner raises if one does (which would be an implementation bug,
+        not a data condition).
+        """
+        inputs = inputs or {}
+        pair_inputs = {
+            u: (inputs.get(u), tentative.get(u)) for u in domain.nodes
+        }
+        outputs, charged = domain.run_restricted(
+            self.algorithm(),
+            self.rounds,
+            inputs=pair_inputs,
+            seed=seed,
+            salt=salt,
+            default_output=KEEP,
+        )
+        pruned = set()
+        new_inputs = {}
+        for u in domain.nodes:
+            verdict = outputs[u]
+            if not (isinstance(verdict, tuple) and len(verdict) == 2):
+                verdict = KEEP
+            if verdict[0] == "prune":
+                pruned.add(u)
+            else:
+                new_x = verdict[1]
+                new_inputs[u] = new_x if new_x is not None else inputs.get(u)
+        return PruneResult(pruned, new_inputs, charged)
+
+
+# ---------------------------------------------------------------------------
+# P_(2, beta): ruling sets and MIS (Observation 3.2)
+# ---------------------------------------------------------------------------
+
+class _RulingSetPruneProcess(NodeProcess):
+    """1 round of ŷ exchange + β rounds of center-flag flooding."""
+
+    __slots__ = ("beta", "step", "y_hat", "center", "center_near")
+
+    def __init__(self, ctx, beta):
+        super().__init__(ctx)
+        self.beta = beta
+        self.step = 0
+        _, self.y_hat = ctx.input if ctx.input else (None, 0)
+        self.center = False
+        self.center_near = False
+
+    def start(self):
+        return Broadcast(("y", in_set(self.y_hat)))
+
+    def receive(self, inbox):
+        self.step += 1
+        if self.step == 1:
+            neighbour_in = [
+                payload[1]
+                for payload in inbox.values()
+                if payload and payload[0] == "y"
+            ]
+            self.center = in_set(self.y_hat) and not any(neighbour_in)
+            return Broadcast(("c", self.center))
+        # Flooding steps 2 .. beta+1: center within (step-1) hops?
+        heard = any(
+            payload[1]
+            for payload in inbox.values()
+            if payload and payload[0] == "c"
+        )
+        self.center_near = self.center_near or heard
+        if self.step < self.beta + 1:
+            return Broadcast(("c", self.center or self.center_near))
+        pruned = self.center or (
+            not in_set(self.y_hat) and self.center_near
+        )
+        self.finish(("prune", None) if pruned else KEEP)
+        return None
+
+
+class RulingSetPruning(PruningAlgorithm):
+    """The paper's ``P_(2,β)``: prunes confirmed rulers and their β-balls.
+
+    ``W`` contains nodes ``u`` with (1) ``ŷ(u)=1`` and all neighbours 0
+    — *centers* — or (2) ``ŷ(u)=0`` with a center within distance β.
+    Runs in ``1 + β`` rounds; leaves inputs unchanged, hence monotone for
+    every non-decreasing parameter (Observation 3.1).
+    """
+
+    def __init__(self, beta=1):
+        if beta < 1:
+            raise ValueError("β must be ≥ 1")
+        self.beta = beta
+        self.rounds = 1 + beta
+        self.name = f"P(2,{beta})"
+        self.problem = RulingSetProblem(2, beta)
+
+    def algorithm(self):
+        beta = self.beta
+        return LocalAlgorithm(
+            name=self.name,
+            process=lambda ctx: _RulingSetPruneProcess(ctx, beta),
+        )
+
+
+def mis_pruning():
+    """``P_(2,1)``: the MIS pruner (2 rounds)."""
+    return RulingSetPruning(beta=1)
+
+
+# ---------------------------------------------------------------------------
+# P_MM: maximal matching (Observation 3.3)
+# ---------------------------------------------------------------------------
+
+class _MatchingPruneProcess(NodeProcess):
+    __slots__ = ("step", "y_hat", "neighbour_values", "matched")
+
+    def __init__(self, ctx):
+        super().__init__(ctx)
+        self.step = 0
+        _, self.y_hat = ctx.input if ctx.input else (None, None)
+        self.neighbour_values = {}
+        self.matched = False
+
+    def start(self):
+        return Broadcast(("y", self.y_hat))
+
+    def receive(self, inbox):
+        self.step += 1
+        if self.step == 1:
+            for port, payload in inbox.items():
+                if payload and payload[0] == "y":
+                    self.neighbour_values[port] = payload[1]
+            # cnt(v) = #{x in N(u)\{v} : ŷ(x) = ŷ(u)}; sent per neighbour.
+            sends = {}
+            for port in self.neighbour_values:
+                count = sum(
+                    1
+                    for other, value in self.neighbour_values.items()
+                    if other != port and value == self.y_hat
+                )
+                sends[port] = ("cnt", count)
+            return sends
+        if self.step == 2:
+            for port, payload in inbox.items():
+                if not (payload and payload[0] == "cnt"):
+                    continue
+                their_count = payload[1]
+                same_value = self.neighbour_values.get(port) == self.y_hat
+                my_count = sum(
+                    1
+                    for other, value in self.neighbour_values.items()
+                    if other != port and value == self.y_hat
+                )
+                if same_value and their_count == 0 and my_count == 0:
+                    self.matched = True
+            return Broadcast(("m", self.matched))
+        neighbour_matched = {
+            port: payload[1]
+            for port, payload in inbox.items()
+            if payload and payload[0] == "m"
+        }
+        all_matched = all(
+            neighbour_matched.get(port, False)
+            for port in range(self.ctx.degree)
+        )
+        pruned = self.matched or all_matched
+        self.finish(("prune", None) if pruned else KEEP)
+        return None
+
+
+class MatchingPruning(PruningAlgorithm):
+    """The paper's ``P_MM``: prunes matched nodes and saturated nodes.
+
+    3 rounds: exchange values, exchange same-value counts (which decide
+    "matched" exactly per the paper's definition), exchange matched
+    flags.  ``W = {u : u matched} ∪ {u : all neighbours matched}``.
+    """
+
+    rounds = 3
+    name = "P_MM"
+    problem = MAXIMAL_MATCHING
+
+    def algorithm(self):
+        return LocalAlgorithm(
+            name=self.name, process=_MatchingPruneProcess
+        )
+
+
+# ---------------------------------------------------------------------------
+# P_SLC: strong list coloring (from the proof of Theorem 5)
+# ---------------------------------------------------------------------------
+
+class _SLCPruneProcess(NodeProcess):
+    __slots__ = ("step", "x", "y_hat", "ok", "used_nearby")
+
+    def __init__(self, ctx):
+        super().__init__(ctx)
+        self.step = 0
+        self.x, self.y_hat = ctx.input if ctx.input else (None, None)
+        self.ok = False
+        self.used_nearby = []
+
+    def start(self):
+        return Broadcast(("y", self.y_hat))
+
+    def receive(self, inbox):
+        self.step += 1
+        if self.step == 1:
+            neighbour_values = [
+                payload[1]
+                for payload in inbox.values()
+                if payload and payload[0] == "y"
+            ]
+            in_list = (
+                isinstance(self.x, SLCInput) and self.y_hat in self.x.colors
+            )
+            self.ok = in_list and all(
+                value != self.y_hat for value in neighbour_values
+            )
+            return Broadcast(("ok", self.ok, self.y_hat))
+        used = [
+            payload[2]
+            for payload in inbox.values()
+            if payload and payload[0] == "ok" and payload[1]
+        ]
+        if self.ok:
+            self.finish(("prune", None))
+            return None
+        if isinstance(self.x, SLCInput):
+            new_x = SLCInput(
+                self.x.delta_hat,
+                self.x.colors.without(used),
+                self.x.base_color,
+            )
+        else:
+            new_x = self.x
+        self.finish(("keep", new_x))
+        return None
+
+
+class SLCPruning(PruningAlgorithm):
+    """Pruner for strong list coloring (Theorem 5's proof).
+
+    ``W`` = nodes whose tentative pair is in their list and conflict-free;
+    survivors' lists lose the pairs committed by pruned neighbours —
+    the one pruner that rewrites inputs, as the definition of pruning
+    algorithms allows.  Each pruned neighbour removes at most one pair
+    per color index while the degree drops by one, preserving the SLC
+    invariant (≥ deg+1 copies per index).  2 rounds.
+    """
+
+    rounds = 2
+    name = "P_SLC"
+    problem = SLC
+    monotone = "all non-decreasing graph parameters (Δ̂ is kept)"
+
+    def algorithm(self):
+        return LocalAlgorithm(name=self.name, process=_SLCPruneProcess)

@@ -1,0 +1,86 @@
+"""Theorem 2: weak Monte-Carlo → uniform Las Vegas (Algorithm 2).
+
+Algorithm 2 (``τ``) wraps Algorithm 1's iteration blocks in an outer
+retry loop: Iteration ``i`` of ``τ`` re-runs iterations ``1..i`` of
+``π`` with fresh random bits.  Once ``2^j ≥ f*``, each inner block ``j``
+independently succeeds with probability at least the guarantee ρ, so the
+number of outer iterations beyond ``s = ⌈log f*⌉`` is dominated by a
+geometrically-decaying tail and the expected total time stays
+``O(f* · s_f(f*))`` (the paper's proof uses ρ = 1/2; any fixed ρ > 0
+gives the same asymptotics).
+
+Correctness is Las Vegas: the combined output is only ever assembled
+from pruned (verified-and-gluable) pieces, so *whenever τ terminates its
+output is certain to be a solution* — randomness affects the running
+time only.
+"""
+
+from __future__ import annotations
+
+from .alternating import AlternatingEngine, AlternationDiverged
+from .domain import as_domain
+from .transformer import UniformAlgorithm
+
+
+class UniformLasVegas(UniformAlgorithm):
+    """The uniform Las Vegas algorithm τ produced by Theorem 2."""
+
+    def run(self, graph, *, inputs=None, seed=0, budget=None):
+        domain = as_domain(graph)
+        engine = AlternatingEngine(
+            domain,
+            inputs,
+            self.pruning,
+            seed=seed,
+            default_output=self.nonuniform.default_output,
+        )
+        bound = self.nonuniform.bound
+        c = bound.bounding_constant
+        for i in range(1, self.max_iterations + 1):
+            for j in range(1, i + 1):
+                level = int(self.base**j)
+                if level < 1:
+                    continue
+                vectors = bound.set_sequence(level)
+                sub_budget = max(1, int(c * level))
+                for k, guesses in enumerate(vectors, start=1):
+                    step_cost = sub_budget + self.pruning.rounds
+                    if budget is not None and engine.rounds + step_cost > budget:
+                        engine.charge(max(0, budget - engine.rounds))
+                        return engine.finalize(self.name, completed=False)
+                    # Salting with (outer, inner, vector) gives each
+                    # execution fresh independent coins.
+                    engine.step_algorithm(
+                        self.nonuniform.algorithm,
+                        iteration=i,
+                        index=(j - 1) * 1000 + k,
+                        guesses=guesses,
+                        budget=sub_budget,
+                    )
+                    if engine.done:
+                        return engine.finalize(self.name)
+                if engine.done:
+                    return engine.finalize(self.name)
+        raise AlternationDiverged(
+            f"{self.name}: not all nodes pruned after {self.max_iterations} "
+            "outer iterations — astronomically unlikely unless the declared "
+            "guarantee or bound is wrong"
+        )
+
+
+def theorem2(nonuniform, pruning, *, name=None, base=2.0, max_iterations=40):
+    """Build the Theorem 2 transformer output (uniform Las Vegas).
+
+    ``nonuniform.kind`` must be ``"weak-monte-carlo"``: correctness with
+    probability ≥ ``guarantee`` *by* the declared bound, with no promise
+    at all otherwise — the weakest class the paper handles.
+    """
+    if nonuniform.kind != "weak-monte-carlo":
+        raise ValueError("Theorem 2 takes weak Monte-Carlo algorithms")
+    return UniformLasVegas(
+        nonuniform,
+        pruning,
+        name=name or f"lasvegas[{nonuniform.name}]",
+        base=base,
+        max_iterations=max_iterations,
+    )

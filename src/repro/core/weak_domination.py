@@ -1,0 +1,140 @@
+"""Theorem 3: uniformization when correctness and runtime parameters differ.
+
+The situation (paper Section 4.5): correctness of ``A_Γ`` needs good
+guesses for Γ, but the declared bound ``f`` is a function of a different
+set Λ — e.g. the Barenboim–Elkin MIS needs both the arboricity ``a`` and
+``n``, yet runs in time depending on ``n`` alone.  When Γ is
+*weakly-dominated* by Λ (each ``p ∈ Γ\\Λ`` has an ascending witness
+``g`` with ``g(p) ≤ q`` for some ``q ∈ Λ``), the proof extends every
+set-sequence vector with derived guesses ``p̃ = g⁻¹(q̃)`` and runs
+Theorem 1 (or 2) unchanged.
+
+We use the safe monotone inverse ``g⁻¹(q̃) = max{y : g(y) ≤ q̃}``: when
+``q̃ ≥ q`` is a good guess, ``g(p) ≤ q ≤ q̃`` gives ``p ≤ p̃``, so the
+derived guess is good too.
+"""
+
+from __future__ import annotations
+
+from ..errors import ParameterError
+from .bounds import Atom, RuntimeBound
+from .randomized import theorem2
+from .transformer import theorem1
+
+
+class DominationWitness:
+    """``g(param) ≤ via`` for every instance, with ``g`` ascending.
+
+    Parameters
+    ----------
+    param:
+        The Γ-parameter missing from the bound (e.g. ``"a"``).
+    via:
+        The Λ-parameter dominating it (e.g. ``"n"``).
+    g:
+        The ascending witness; identity by default (``a ≤ n``).
+    """
+
+    __slots__ = ("param", "via", "_atom")
+
+    def __init__(self, param, via, g=None):
+        self.param = param
+        self.via = via
+        fn = g if g is not None else (lambda x: x)
+        self._atom = Atom(param, fn, f"g[{param}<={via}]")
+
+    def derive(self, via_value):
+        """``max{y : g(y) ≤ via_value}`` — the safe derived guess."""
+        value = self._atom.invert(via_value)
+        if value is None:
+            raise ParameterError(
+                f"witness g for {self.param} admits no guess at "
+                f"{self.via}={via_value}"
+            )
+        return value
+
+    def __repr__(self):
+        return f"DominationWitness({self.param} ≼ {self.via})"
+
+
+class ExtendedBound(RuntimeBound):
+    """The paper's ``f'``: base bound over Λ with derived Γ\\Λ guesses.
+
+    Evaluation delegates to the base ``f`` (the derived coordinates do
+    not change the value by construction); set-sequence vectors carry
+    the extra coordinates so the transformer can feed Γ in full.  Both
+    the bounding constant and the sequence-number function are inherited
+    — exactly the assertion proved in Theorem 3.
+    """
+
+    def __init__(self, base, witnesses):
+        self.base = base
+        self.witnesses = tuple(witnesses)
+        for witness in self.witnesses:
+            if witness.via not in base.params:
+                raise ParameterError(
+                    f"witness {witness!r} references {witness.via!r}, which "
+                    f"is not a bound parameter {base.params}"
+                )
+        self.params = base.params
+
+    def value(self, guesses):
+        return self.base.value(guesses)
+
+    @property
+    def bounding_constant(self):
+        return self.base.bounding_constant
+
+    def set_sequence(self, i):
+        extended = []
+        for vector in self.base.set_sequence(i):
+            enriched = dict(vector)
+            for witness in self.witnesses:
+                enriched[witness.param] = witness.derive(vector[witness.via])
+            extended.append(enriched)
+        return extended
+
+    def sequence_number(self, i):
+        return self.base.sequence_number(i)
+
+    def __repr__(self):
+        extra = ",".join(w.param for w in self.witnesses)
+        return f"ExtendedBound({self.base!r} + derived {extra})"
+
+
+def extend_nonuniform(nonuniform, witnesses):
+    """A copy of ``nonuniform`` whose bound derives the missing guesses."""
+    from .transformer import NonUniform
+
+    covered = set(nonuniform.bound.params) | {w.param for w in witnesses}
+    missing = [p for p in nonuniform.algorithm.requires if p not in covered]
+    if missing:
+        raise ParameterError(
+            f"algorithm parameters {missing} neither bounded nor dominated"
+        )
+    return NonUniform(
+        nonuniform.algorithm,
+        ExtendedBound(nonuniform.bound, witnesses),
+        kind=nonuniform.kind,
+        guarantee=nonuniform.guarantee,
+        default_output=nonuniform.default_output,
+        name=f"{nonuniform.name}+dominated",
+        validate=False,
+    )
+
+
+def theorem3(nonuniform, pruning, witnesses, *, name=None, base=2.0,
+             max_iterations=60):
+    """Uniformize with weakly-dominated correctness parameters.
+
+    Dispatches to Theorem 1 or Theorem 2 according to the algorithm's
+    kind, exactly as the paper's statement covers both.
+    """
+    extended = extend_nonuniform(nonuniform, witnesses)
+    if extended.kind == "deterministic":
+        return theorem1(
+            extended, pruning, name=name, base=base, max_iterations=max_iterations
+        )
+    return theorem2(
+        extended, pruning, name=name, base=base, max_iterations=max_iterations
+    )

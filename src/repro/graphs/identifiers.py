@@ -1,0 +1,88 @@
+"""Identity-assignment schemes.
+
+The paper assumes each node holds a unique integer identity ``Id(v)``
+(Section 2) and — like the algorithms it transforms — treats the largest
+identity ``m`` as a graph parameter (Section 5.2).  Our default schemes
+keep ``m ≤ n³`` (the standard poly(n) identity-space assumption,
+documented as D8 in DESIGN.md); adversarial schemes exist to stress the
+dependence of algorithms on the identity space.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..errors import InvalidInstanceError
+
+
+def compact_idents(graph, seed=0):
+    """A random permutation of ``1..n``: the tightest identity space."""
+    nodes = sorted(graph.nodes(), key=repr)
+    rng = random.Random(seed)
+    values = list(range(1, len(nodes) + 1))
+    rng.shuffle(values)
+    return dict(zip(nodes, values))
+
+
+def poly_idents(graph, seed=0, exponent=3):
+    """Distinct identities drawn from ``[1, n^exponent]`` (default n³).
+
+    This is the identity regime assumed throughout the reproduction:
+    ``m ≤ n^exponent`` keeps ``log* m = log* n + O(1)`` and ID bit-length
+    ``O(log n)``.
+    """
+    nodes = sorted(graph.nodes(), key=repr)
+    n = max(1, len(nodes))
+    space = max(n, n**exponent)
+    rng = random.Random(seed)
+    values = rng.sample(range(1, space + 1), len(nodes))
+    return dict(zip(nodes, values))
+
+
+def sequential_idents(graph):
+    """Identities ``1..n`` in label order (worst case for greedy chains)."""
+    nodes = sorted(graph.nodes(), key=repr)
+    return {u: i + 1 for i, u in enumerate(nodes)}
+
+
+def adversarial_path_idents(graph):
+    """Monotone identities along a BFS order.
+
+    Produces long monotone identity paths — the classic bad case for
+    naive greedy-by-identity symmetry breaking, used in tests to show why
+    the implemented algorithms avoid that trap.
+    """
+    import networkx as nx
+
+    order = []
+    seen = set()
+    for component in nx.connected_components(graph):
+        root = min(component, key=repr)
+        for u in nx.bfs_tree(graph, root).nodes():
+            order.append(u)
+            seen.add(u)
+    for u in graph.nodes():
+        if u not in seen:
+            order.append(u)
+    return {u: i + 1 for i, u in enumerate(order)}
+
+
+def validate_idents(graph, idents):
+    """Check identities are unique positive integers covering the graph."""
+    missing = [u for u in graph.nodes() if u not in idents]
+    if missing:
+        raise InvalidInstanceError(f"{len(missing)} node(s) without identity")
+    values = [idents[u] for u in graph.nodes()]
+    if any((not isinstance(x, int)) or x <= 0 for x in values):
+        raise InvalidInstanceError("identities must be positive integers")
+    if len(set(values)) != len(values):
+        raise InvalidInstanceError("identities must be unique")
+    return True
+
+
+SCHEMES = {
+    "compact": compact_idents,
+    "poly": poly_idents,
+    "sequential": sequential_idents,
+    "adversarial_path": adversarial_path_idents,
+}

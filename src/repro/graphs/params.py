@@ -1,0 +1,142 @@
+"""Computation of the paper's graph parameters.
+
+Section 2 evaluates running times against *non-decreasing
+graph-parameters*; the ones the paper uses are:
+
+* ``n`` — number of nodes;
+* ``Δ`` — maximum degree;
+* ``m`` — largest identity (Section 5.2 treats identities as colors);
+* ``a`` — arboricity.
+
+For arboricity we compute the *density arboricity*
+``⌈max_H |E(H)| / |V(H)|⌉`` exactly via Goldberg's maximum-density-
+subgraph reduction to max-flow.  It sandwiches the Nash–Williams
+arboricity (``density ≤ a_NW ≤ degeneracy ≤ 2·density``), is
+non-decreasing under subgraphs, and is the quantity our peeling
+procedures are analysed against (every subgraph has average degree at
+most twice it).  Exact Nash–Williams by brute force is provided for tiny
+graphs as a test oracle.
+"""
+
+from __future__ import annotations
+
+import itertools
+from fractions import Fraction
+
+import networkx as nx
+
+from ..mathutils import int_ceil_div
+
+
+def degeneracy(graph):
+    """Exact degeneracy via min-degree peeling (0 for edgeless graphs)."""
+    if graph.number_of_edges() == 0:
+        return 0
+    cores = nx.core_number(graph)
+    return max(cores.values())
+
+
+def max_density(graph):
+    """Exact maximum subgraph density ``max_H m_H / n_H`` as a Fraction.
+
+    Implements Goldberg's reduction: for a guessed density ``g`` the
+    max-flow in an auxiliary network reveals whether some subgraph beats
+    ``g``.  Distinct achievable densities are rationals with denominator
+    ≤ n, so a binary search to precision ``1/n²`` isolates the optimum,
+    recovered with ``Fraction.limit_denominator``.
+    """
+    n = graph.number_of_nodes()
+    m = graph.number_of_edges()
+    if m == 0:
+        return Fraction(0)
+
+    def beats(g):
+        """True iff some subgraph has density strictly above ``g``."""
+        den = g.denominator
+        num = g.numerator
+        flow_net = nx.DiGraph()
+        source, sink = ("s",), ("t",)
+        for idx, (u, v) in enumerate(graph.edges()):
+            e = ("e", idx)
+            flow_net.add_edge(source, e, capacity=den)
+            flow_net.add_edge(e, ("v", u), capacity=m * den + 1)
+            flow_net.add_edge(e, ("v", v), capacity=m * den + 1)
+        for u in graph.nodes():
+            flow_net.add_edge(("v", u), sink, capacity=num)
+        value = nx.maximum_flow_value(flow_net, source, sink)
+        return value < m * den
+
+    lo = Fraction(m, n)  # whole graph is a witness
+    hi = Fraction(n, 2)  # density can never exceed (n-1)/2
+    if not beats(lo):
+        # The whole graph is already densest (common for regular graphs);
+        # lo is achievable and nothing beats it.
+        return lo
+    precision = Fraction(1, 2 * n * n)
+    while hi - lo > precision:
+        mid = (lo + hi) / 2
+        if beats(mid):
+            lo = mid
+        else:
+            hi = mid
+    # The optimum is the unique rational with denominator ≤ n in (lo, hi].
+    candidate = ((lo + hi) / 2).limit_denominator(n)
+    if candidate <= lo:
+        candidate = hi.limit_denominator(n)
+    return candidate
+
+
+def density_arboricity(graph):
+    """``max(1, ⌈max_density⌉)`` — the library's arboricity parameter ``a``.
+
+    Within [a_NW / 2, a_NW] of the Nash–Williams arboricity and
+    non-decreasing under subgraphs; all peeling thresholds in
+    :mod:`repro.algorithms.arboricity` are stated against it.
+    """
+    density = max_density(graph)
+    return max(1, int_ceil_div(density.numerator, density.denominator))
+
+
+def nash_williams_exact(graph, max_nodes=14):
+    """Exact Nash–Williams arboricity by brute force (test oracle only).
+
+    ``max over subgraphs H of ⌈m_H / (n_H - 1)⌉``; exponential in n, so
+    guarded by ``max_nodes``.
+    """
+    n = graph.number_of_nodes()
+    if n > max_nodes:
+        raise ValueError(f"brute force limited to {max_nodes} nodes")
+    if graph.number_of_edges() == 0:
+        return 0
+    nodes = list(graph.nodes())
+    best = 1
+    for size in range(2, n + 1):
+        for subset in itertools.combinations(nodes, size):
+            sub = graph.subgraph(subset)
+            m_h = sub.number_of_edges()
+            if m_h:
+                best = max(best, int_ceil_div(m_h, size - 1))
+    return best
+
+
+def arboricity_bounds(graph):
+    """Certified (lower, upper) bounds on Nash–Williams arboricity.
+
+    ``⌈density⌉ ≤ a_NW ≤ degeneracy`` (a d-degenerate graph's peeling
+    order orients edges into d forests).
+    """
+    lower = density_arboricity(graph) if graph.number_of_edges() else 0
+    upper = degeneracy(graph)
+    return max(lower, min(1, upper)), max(upper, lower)
+
+
+def graph_parameters(sim_graph, *, with_arboricity=True):
+    """All paper parameters of a :class:`~repro.local.graph.SimGraph`."""
+    params = {
+        "n": sim_graph.n,
+        "Delta": sim_graph.max_degree,
+        "m": sim_graph.max_ident,
+    }
+    if with_arboricity:
+        params["a"] = density_arboricity(sim_graph.to_networkx())
+    return params

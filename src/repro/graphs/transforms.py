@@ -1,0 +1,124 @@
+"""Derived-graph constructions: line graphs and the clique product.
+
+Section 5.1 of the paper constructs, without any global parameter, the
+graph ``G'``: one clique ``C_u`` on ``deg(u)+1`` virtual nodes per node
+``u``, plus the cross edges ``(u_i, v_i)`` for every physical edge
+``(u, v)`` and every ``i ∈ [1, 1 + min(deg u, deg v)]``.  Maximal
+independent sets of ``G'`` correspond one-to-one to ``(deg+1)``-colorings
+of ``G``.
+
+Section 5.2 and the edge-coloring rows run vertex-coloring algorithms on
+the line graph ``L(G)``.
+
+Both are materialized as :class:`~repro.local.virtual.VirtualSpec`
+instances so the algorithms execute on the physical network through the
+virtual-node layer.  Virtual identities are injective integer encodings
+of (physical identity, index) pairs, keeping the identity space
+polynomial in the physical one (assumption D8).
+"""
+
+from __future__ import annotations
+
+from ..errors import InvalidInstanceError
+from ..local.virtual import VirtualSpec
+
+
+def clique_product_spec(graph):
+    """The paper's ``G'``: cliques ``C_u`` joined by ``(u_i, v_i)`` edges.
+
+    Virtual node ``(u, i)`` (``i ∈ 0..deg(u)``) is hosted at ``u``; clique
+    edges are internal, cross edges ride the physical edge — dilation 1.
+
+    Virtual identities: ``ident(u) * (M + 2) + i`` with ``M`` the largest
+    physical identity, hence unique and ≤ ``(M+1)(M+2)``.
+    """
+    big = graph.max_ident + 2
+    adj = {}
+    ident = {}
+    host = {}
+    for u in graph.nodes:
+        size = graph.degree(u) + 1
+        for i in range(size):
+            virt = (u, i)
+            host[virt] = u
+            ident[virt] = graph.ident[u] * big + i
+            clique = [(u, j) for j in range(size) if j != i]
+            adj[virt] = clique
+    for u, v in graph.edges():
+        limit = 1 + min(graph.degree(u), graph.degree(v))
+        for i in range(limit):
+            adj[(u, i)].append((v, i))
+            adj[(v, i)].append((u, i))
+    return VirtualSpec(host, ident, adj, graph)
+
+
+def coloring_from_mis(graph, spec, mis_outputs):
+    """Decode a MIS of the clique product into a ``(deg+1)``-coloring.
+
+    Per Section 5.1, a MIS of ``G'`` hits every clique ``C_u`` exactly
+    once; the index of the chosen virtual node is the color.  Raises
+    :class:`InvalidInstanceError` when the input is not a MIS of ``G'``
+    (e.g. some clique is missed) — callers that pass tentative vectors
+    should verify first.
+    """
+    colors = {}
+    for u in graph.nodes:
+        chosen = [
+            i
+            for i in range(graph.degree(u) + 1)
+            if mis_outputs.get((u, i)) == 1
+        ]
+        if len(chosen) != 1:
+            raise InvalidInstanceError(
+                f"clique of node {u!r} selected {len(chosen)} virtual nodes; "
+                "input is not a MIS of the clique product"
+            )
+        colors[u] = chosen[0] + 1  # colors in [1, deg(u)+1]
+    return colors
+
+
+def line_graph_spec(graph):
+    """The line graph ``L(G)`` as a virtual-node specification.
+
+    Virtual node per physical edge, hosted at the endpoint with the
+    smaller identity; two edge-nodes are adjacent iff the edges share an
+    endpoint.  Some virtual edges need a two-hop relay (hosts ``u`` and
+    ``w`` of edges ``(u,v)``, ``(v,w)`` may be non-adjacent), so the
+    dilation is 2 in general.
+
+    Virtual identities: ``ident(u) * (M + 2) + ident(v)`` for the edge
+    ``(u, v)`` with ``ident(u) < ident(v)``.
+    """
+    big = graph.max_ident + 2
+    host = {}
+    ident = {}
+    adj = {}
+    incident = {u: [] for u in graph.nodes}
+    for u, v in graph.edges():
+        iu, iv = graph.ident[u], graph.ident[v]
+        virt = (u, v) if iu < iv else (v, u)
+        host[virt] = virt[0]
+        ident[virt] = graph.ident[virt[0]] * big + graph.ident[virt[1]]
+        adj[virt] = []
+        incident[u].append(virt)
+        incident[v].append(virt)
+    for u in graph.nodes:
+        edges_here = sorted(incident[u], key=lambda e: ident[e])
+        for i, e in enumerate(edges_here):
+            for f in edges_here[i + 1 :]:
+                adj[e].append(f)
+                adj[f].append(e)
+    return VirtualSpec(host, ident, adj, graph)
+
+
+def edge_of_virt(virt):
+    """Physical edge represented by a line-graph virtual node."""
+    return virt
+
+
+def line_graph_max_degree(graph):
+    """Δ(L(G)) = max over edges of deg(u)+deg(v)-2."""
+    best = 0
+    for u, v in graph.edges():
+        best = max(best, graph.degree(u) + graph.degree(v) - 2)
+    return best

@@ -1,0 +1,49 @@
+"""LOCAL-model simulation substrate.
+
+This package implements the synchronous message-passing model of the
+paper (Section 2): :class:`SimGraph` adjacency views, per-node processes,
+the synchronous runner with exact round accounting, the restriction
+operator, wake-up patterns with the α synchronizer, sequential
+composition (Observation 2.1), and the virtual-node layer used for line
+graphs and clique products (Sections 5.1–5.2).
+"""
+
+from .algorithm import (
+    FunctionProcess,
+    HostAlgorithm,
+    LocalAlgorithm,
+    NodeProcess,
+    zero_round_algorithm,
+)
+from .msgsize import estimate_bits
+from .composition import Chain, default_carry
+from .context import NodeContext, make_rng
+from .graph import SimGraph
+from .message import Broadcast
+from .runner import RunResult, run, run_restricted
+from .virtual import VirtualSpec, flatten_outputs, virtualize
+from .wakeup import run_with_wakeup, running_time, termination_times
+
+__all__ = [
+    "Broadcast",
+    "Chain",
+    "FunctionProcess",
+    "HostAlgorithm",
+    "LocalAlgorithm",
+    "estimate_bits",
+    "NodeContext",
+    "NodeProcess",
+    "RunResult",
+    "SimGraph",
+    "VirtualSpec",
+    "default_carry",
+    "flatten_outputs",
+    "make_rng",
+    "run",
+    "run_restricted",
+    "run_with_wakeup",
+    "running_time",
+    "termination_times",
+    "virtualize",
+    "zero_round_algorithm",
+]

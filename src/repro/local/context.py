@@ -1,0 +1,84 @@
+"""Per-node execution context.
+
+A :class:`NodeContext` is everything a node may legally look at in the
+LOCAL model before any communication: its own identity, degree, problem
+input, the common guesses for global parameters (the collection Γ̃ of the
+paper), and a private source of random bits.  The context deliberately
+does *not* reference the graph: the only way information flows between
+nodes is through messages handled by the runner, which is what makes the
+simulations honest.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..errors import ParameterError
+
+
+class NodeContext:
+    """Immutable node-local view handed to a node process.
+
+    Attributes
+    ----------
+    node:
+        The node's label in the simulation graph (never sent to other
+        nodes by the runtime; algorithms must use :attr:`ident`).
+    ident:
+        The unique identity ``Id(v)`` (paper Section 2).
+    degree:
+        Number of incident edges; ports are ``0 .. degree-1``.
+    input:
+        The problem input ``x(v)`` (``None`` when the problem has no
+        input).
+    guesses:
+        Mapping from parameter name (e.g. ``"n"``, ``"Delta"``, ``"m"``,
+        ``"a"``) to the common guessed value.  Uniform algorithms receive
+        an empty mapping.
+    rng:
+        Per-node :class:`random.Random`; independent across nodes, and
+        reproducible from the run seed.
+    """
+
+    __slots__ = ("node", "ident", "degree", "input", "guesses", "rng")
+
+    def __init__(self, node, ident, degree, input, guesses, rng):
+        self.node = node
+        self.ident = ident
+        self.degree = degree
+        self.input = input
+        self.guesses = guesses
+        self.rng = rng
+
+    def guess(self, name):
+        """Return the guessed value of a required global parameter.
+
+        Raises :class:`ParameterError` when the guess is missing — a
+        non-uniform algorithm invoked without its parameters is a
+        programming error, not a silent fallback.
+        """
+        try:
+            return self.guesses[name]
+        except KeyError:
+            raise ParameterError(
+                f"algorithm requires a guess for parameter {name!r}; "
+                f"provided guesses: {sorted(self.guesses)}"
+            ) from None
+
+    def __repr__(self):
+        return (
+            f"NodeContext(ident={self.ident}, degree={self.degree}, "
+            f"guesses={self.guesses})"
+        )
+
+
+def make_rng(seed, salt, ident):
+    """Derive a per-node RNG from the run seed, a salt and the identity.
+
+    Different nodes get independent streams; re-running with the same
+    seed reproduces the execution exactly (needed both for debugging and
+    for the deterministic-given-IDs algorithms).  String seed material is
+    hashed by :class:`random.Random` with SHA-512, which is stable across
+    processes (unlike built-in ``hash``).
+    """
+    return random.Random(f"{seed!r}|{salt!r}|{ident!r}")

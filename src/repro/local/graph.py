@@ -1,0 +1,185 @@
+"""Simulation-graph representation used by the LOCAL runner.
+
+A :class:`SimGraph` is an immutable adjacency view of a network together
+with the unique node identities the paper assumes (Section 2: "each node
+v is provided with a unique integer Id(v)").  Ports are assigned per node
+in increasing order of neighbour identity, which gives deterministic
+simulations.
+
+Induced subgraphs — the ``(G_i, x_i)`` instances of the alternating
+algorithm (Figure 1) — are produced by :meth:`SimGraph.subgraph`.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from ..errors import InvalidInstanceError
+
+
+class SimGraph:
+    """Static adjacency + identity view of a network.
+
+    Attributes
+    ----------
+    nodes:
+        Tuple of node labels, sorted by identity.
+    ident:
+        Mapping node label -> unique integer identity.
+    adj:
+        Mapping node -> tuple of ``(port, neighbour, reverse_port)``
+        triples where ``reverse_port`` is the port of *node* in
+        *neighbour*'s own numbering.
+    """
+
+    __slots__ = ("nodes", "ident", "adj", "_degree", "_node_set")
+
+    def __init__(self, nodes, ident, adj):
+        self.nodes = tuple(nodes)
+        self.ident = dict(ident)
+        self.adj = adj
+        self._degree = {u: len(adj[u]) for u in self.nodes}
+        self._node_set = frozenset(self.nodes)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_networkx(cls, graph, idents=None):
+        """Build a :class:`SimGraph` from an undirected networkx graph.
+
+        Parameters
+        ----------
+        graph:
+            Undirected simple graph.  Self-loops are rejected.
+        idents:
+            Optional mapping node -> unique integer identity.  Defaults to
+            the node labels themselves when they are integers, else to an
+            enumeration in sorted-label order.
+        """
+        if graph.is_directed():
+            raise InvalidInstanceError("LOCAL networks are undirected")
+        if any(u == v for u, v in graph.edges()):
+            raise InvalidInstanceError("self-loops are not allowed")
+        if idents is None:
+            labels = list(graph.nodes())
+            if all(isinstance(u, int) for u in labels):
+                # The paper's identities are positive integers; shift
+                # 0-based integer labels up by one.
+                idents = {u: u + 1 for u in labels}
+            else:
+                idents = {u: i + 1 for i, u in enumerate(sorted(labels, key=repr))}
+        else:
+            idents = dict(idents)
+            missing = [u for u in graph.nodes() if u not in idents]
+            if missing:
+                raise InvalidInstanceError(
+                    f"identities missing for {len(missing)} node(s)"
+                )
+        values = list(idents[u] for u in graph.nodes())
+        if len(set(values)) != len(values):
+            raise InvalidInstanceError("identities must be unique")
+        if any((not isinstance(x, int)) or x < 1 for x in values):
+            raise InvalidInstanceError(
+                "identities must be positive integers (paper Section 2)"
+            )
+        return cls._build(list(graph.nodes()), idents, graph.adj)
+
+    @classmethod
+    def _build(cls, labels, idents, neighbour_view):
+        nodes = sorted(labels, key=lambda u: idents[u])
+        order = {}
+        for u in nodes:
+            neighbours = sorted(
+                (v for v in neighbour_view[u] if v in idents and v != u),
+                key=lambda v: idents[v],
+            )
+            order[u] = neighbours
+        port_of = {
+            u: {v: p for p, v in enumerate(order[u])} for u in nodes
+        }
+        adj = {}
+        for u in nodes:
+            adj[u] = tuple(
+                (p, v, port_of[v][u]) for p, v in enumerate(order[u])
+            )
+        return cls(nodes, idents, adj)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def n(self):
+        """Number of nodes."""
+        return len(self.nodes)
+
+    @property
+    def max_degree(self):
+        """Maximum degree Δ (0 for the empty graph)."""
+        if not self.nodes:
+            return 0
+        return max(self._degree.values())
+
+    @property
+    def max_ident(self):
+        """Largest identity m (0 for the empty graph)."""
+        if not self.nodes:
+            return 0
+        return max(self.ident.values())
+
+    def degree(self, u):
+        """Degree of node ``u``."""
+        return self._degree[u]
+
+    def neighbors(self, u):
+        """Neighbour labels of ``u`` in port order."""
+        return tuple(v for _, v, _ in self.adj[u])
+
+    def has_node(self, u):
+        return u in self._node_set
+
+    def edge_count(self):
+        """Number of edges."""
+        return sum(self._degree.values()) // 2
+
+    def edges(self):
+        """Iterate over edges as (u, v) with ident(u) < ident(v)."""
+        for u in self.nodes:
+            iu = self.ident[u]
+            for _, v, _ in self.adj[u]:
+                if iu < self.ident[v]:
+                    yield (u, v)
+
+    # ------------------------------------------------------------------
+    # derived graphs
+    # ------------------------------------------------------------------
+    def subgraph(self, keep):
+        """Induced subgraph on ``keep`` with fresh port numbering.
+
+        This realizes the instances ``(G_{i+1}, x_{i+1})`` produced by a
+        pruning algorithm: pruned nodes leave the network entirely and the
+        survivors renumber their ports among themselves.
+        """
+        keep_set = set(keep)
+        unknown = keep_set - self._node_set
+        if unknown:
+            raise InvalidInstanceError(
+                f"subgraph nodes not in graph: {sorted(unknown, key=repr)[:5]}"
+            )
+        idents = {u: self.ident[u] for u in keep_set}
+        neighbour_view = {
+            u: [v for _, v, _ in self.adj[u] if v in keep_set]
+            for u in keep_set
+        }
+        return SimGraph._build(list(keep_set), idents, neighbour_view)
+
+    def to_networkx(self):
+        """Export to a networkx graph (identities as node attribute)."""
+        graph = nx.Graph()
+        graph.add_nodes_from(self.nodes)
+        graph.add_edges_from(self.edges())
+        nx.set_node_attributes(graph, self.ident, "ident")
+        return graph
+
+    def __repr__(self):
+        return f"SimGraph(n={self.n}, m={self.edge_count()}, Δ={self.max_degree})"

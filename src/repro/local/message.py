@@ -1,0 +1,62 @@
+"""Message-passing primitives for the LOCAL model.
+
+The LOCAL model (Peleg, 2000; paper Section 2) places no bound on message
+size, so messages are arbitrary Python objects.  A node addresses its
+neighbours through *ports* ``0 .. degree-1``; the port numbering is fixed
+for the lifetime of a simulation graph.
+
+Outgoing message specifications returned by a node process:
+
+* ``None`` — send nothing this round;
+* a :class:`Broadcast` — the same payload to every neighbour;
+* a ``dict`` mapping ports to payloads — targeted messages.
+"""
+
+from __future__ import annotations
+
+
+class Broadcast:
+    """Send the same payload to every neighbour this round.
+
+    The LOCAL model's unbounded message size makes broadcast the most
+    common primitive: almost every algorithm in the paper exchanges full
+    local state with all neighbours each round.
+    """
+
+    __slots__ = ("payload",)
+
+    def __init__(self, payload):
+        self.payload = payload
+
+    def __repr__(self):
+        return f"Broadcast({self.payload!r})"
+
+    def __eq__(self, other):
+        return isinstance(other, Broadcast) and self.payload == other.payload
+
+    def __hash__(self):
+        return hash(("Broadcast", repr(self.payload)))
+
+
+def normalize_outgoing(outgoing, degree):
+    """Validate an outgoing-message specification.
+
+    Returns the specification unchanged when valid.  Raises ``TypeError``
+    or ``ValueError`` for malformed specifications so that algorithm bugs
+    surface at the offending node rather than at a confused receiver.
+    """
+    if outgoing is None or isinstance(outgoing, Broadcast):
+        return outgoing
+    if isinstance(outgoing, dict):
+        for port in outgoing:
+            if not isinstance(port, int):
+                raise TypeError(f"message port must be int, got {port!r}")
+            if port < 0 or port >= degree:
+                raise ValueError(
+                    f"port {port} out of range for degree {degree}"
+                )
+        return outgoing
+    raise TypeError(
+        "outgoing messages must be None, Broadcast, or a dict port->payload; "
+        f"got {type(outgoing).__name__}"
+    )

@@ -1,0 +1,45 @@
+"""Message-size accounting (paper Section 6.2).
+
+The LOCAL model ignores message size, but the paper's conclusion
+discusses when uniformization preserves *short* (O(log n)-bit) messages:
+algorithms whose payloads carry only identifiers, colors or degrees —
+not the guessed bounds themselves — keep their message size under the
+transformation.  This module estimates payload sizes so experiments can
+check which of our algorithms are in that regime.
+
+``estimate_bits`` is a structural size measure: integers cost their bit
+length, containers cost the sum of their parts plus a small per-element
+framing overhead.  It is deliberately simple — the interesting quantity
+is the *growth* of the maximum payload with n and Δ, not absolute bytes.
+"""
+
+from __future__ import annotations
+
+#: framing overhead charged per container element
+FRAME_BITS = 2
+
+
+def estimate_bits(payload):
+    """Structural bit-size estimate of a message payload."""
+    if payload is None:
+        return 1
+    if isinstance(payload, bool):
+        return 1
+    if isinstance(payload, int):
+        return max(1, payload.bit_length()) + 1  # sign/flag bit
+    if isinstance(payload, float):
+        return 64
+    if isinstance(payload, str):
+        return 8 * len(payload)
+    if isinstance(payload, (tuple, list, set, frozenset)):
+        return sum(estimate_bits(item) + FRAME_BITS for item in payload) + FRAME_BITS
+    if isinstance(payload, dict):
+        return (
+            sum(
+                estimate_bits(k) + estimate_bits(v) + FRAME_BITS
+                for k, v in payload.items()
+            )
+            + FRAME_BITS
+        )
+    # unknown object: charge by repr as a conservative fallback
+    return 8 * len(repr(payload))

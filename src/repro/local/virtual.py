@@ -1,0 +1,303 @@
+"""Virtual-node simulation: run a LOCAL algorithm on a derived graph.
+
+Two constructions in the paper execute an algorithm on a graph derived
+from the network rather than on the network itself:
+
+* Section 5.1 builds the *clique product* ``G'`` (one clique ``C_u`` of
+  size ``deg(u)+1`` per node, with ``(u_i, v_i)`` edges across each
+  physical edge) and computes a MIS of ``G'`` to obtain a
+  ``(deg+1)``-coloring of ``G``;
+* Section 5.2 / the edge-coloring rows color the *line graph* ``L(G)``.
+
+Both derived graphs can be simulated on the physical network: each
+physical node *hosts* a set of virtual nodes, and every virtual edge maps
+to a path of length ≤ 2 in ``G`` (internal to a host, a physical edge, or
+a two-hop route through a shared physical neighbour).  One virtual round
+therefore costs ``dilation`` ∈ {1, 2} physical rounds.  The paper notes
+such derived graphs "can be constructed by a local algorithm without
+using any global parameter"; we precompute the mapping host-side, which
+stands in for that constant-round construction.
+
+Termination: a physical node may serve as a *relay* for virtual edges
+between other hosts, so it cannot stop when its own virtual nodes finish.
+Hosts broadcast a one-off "all my virtual nodes are done" announcement;
+a relay terminates once its own virtual nodes and all its client hosts
+have announced.  This adds O(1) physical rounds, absorbed in the declared
+bounds of the algorithms built on this layer.
+
+Restriction semantics: when a run of the wrapped algorithm is truncated
+(the paper's *restriction to i rounds*), hosts that have not committed
+their output dict yet contribute the default output for all their hosted
+virtual nodes — a valid instance of the paper's "arbitrary output".
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..errors import InvalidInstanceError
+from .algorithm import LocalAlgorithm, NodeProcess
+from .context import NodeContext
+from .message import Broadcast
+
+
+class VirtualSpec:
+    """Hosting and routing data for a derived (virtual) graph.
+
+    Attributes
+    ----------
+    host:
+        Mapping virtual node -> physical node.
+    ident:
+        Mapping virtual node -> unique integer identity.
+    adj:
+        Mapping virtual node -> tuple of neighbour virtual nodes (virtual
+        ports follow this order).
+    dilation:
+        Physical rounds per virtual round (1 without relays, else 2).
+    """
+
+    __slots__ = (
+        "host",
+        "ident",
+        "adj",
+        "dilation",
+        "hosted",
+        "send_plan",
+        "forward_plan",
+        "recv_port",
+        "relay_client_ports",
+    )
+
+    def __init__(self, host, ident, adj, physical_graph):
+        self.host = dict(host)
+        self.ident = dict(ident)
+        self.adj = {v: tuple(neigh) for v, neigh in adj.items()}
+        if len(set(self.ident.values())) != len(self.ident):
+            raise InvalidInstanceError("virtual identities must be unique")
+        self.hosted = {}
+        for virt, p in self.host.items():
+            self.hosted.setdefault(p, []).append(virt)
+        for p in self.hosted:
+            self.hosted[p].sort(key=lambda v: self.ident[v])
+        self.recv_port = {}
+        for virt, neighbours in self.adj.items():
+            for port, other in enumerate(neighbours):
+                self.recv_port[(other, virt)] = port
+        self._build_routes(physical_graph)
+
+    def _build_routes(self, graph):
+        port_to = {u: {v: p for p, v, _ in graph.adj[u]} for u in graph.nodes}
+        neighbour_sets = {
+            u: frozenset(v for _, v, _ in graph.adj[u]) for u in graph.nodes
+        }
+        self.send_plan = {}
+        self.forward_plan = {}
+        relay_clients = {}
+        needs_relay = False
+        for virt, neighbours in self.adj.items():
+            p = self.host[virt]
+            for other in neighbours:
+                q = self.host[other]
+                if (other, virt) not in self.recv_port:
+                    raise InvalidInstanceError(
+                        f"virtual adjacency not symmetric: {virt}->{other}"
+                    )
+                if p == q:
+                    self.send_plan[(virt, other)] = ("internal",)
+                elif q in port_to[p]:
+                    self.send_plan[(virt, other)] = ("direct", port_to[p][q])
+                else:
+                    shared = neighbour_sets[p] & neighbour_sets[q]
+                    if not shared:
+                        raise InvalidInstanceError(
+                            f"virtual edge ({virt},{other}) has no physical "
+                            "route of length <= 2"
+                        )
+                    relay = min(shared, key=lambda r: graph.ident[r])
+                    self.send_plan[(virt, other)] = ("relay", port_to[p][relay])
+                    self.forward_plan.setdefault(relay, {})[other] = (
+                        port_to[relay][q]
+                    )
+                    relay_clients.setdefault(relay, set()).add(p)
+                    needs_relay = True
+        self.dilation = 2 if needs_relay else 1
+        # Ports (at the relay) of the hosts whose traffic routes through it.
+        self.relay_client_ports = {}
+        for relay, clients in relay_clients.items():
+            ports = {port_to[relay][p] for p in clients}
+            self.relay_client_ports[relay] = frozenset(ports)
+
+    @property
+    def virtual_nodes(self):
+        return tuple(self.adj.keys())
+
+
+class _VirtualHostProcess(NodeProcess):
+    """Physical-node process simulating all hosted virtual processes."""
+
+    __slots__ = (
+        "spec",
+        "algorithm",
+        "virt_inputs",
+        "subs",
+        "phase",
+        "virt_round_inbox",
+        "outputs",
+        "announced",
+        "announced_ports",
+        "client_ports",
+    )
+
+    def __init__(self, ctx, spec, algorithm, virt_inputs):
+        super().__init__(ctx)
+        self.spec = spec
+        self.algorithm = algorithm
+        self.virt_inputs = virt_inputs
+        base = ctx.rng.getrandbits(64)
+        self.subs = {}
+        self.outputs = {}
+        self.virt_round_inbox = {}
+        self.phase = 0
+        self.announced = False
+        self.announced_ports = set()
+        self.client_ports = spec.relay_client_ports.get(ctx.node, frozenset())
+        for virt in spec.hosted.get(ctx.node, ()):
+            sub_ctx = NodeContext(
+                node=virt,
+                ident=spec.ident[virt],
+                degree=len(spec.adj[virt]),
+                input=virt_inputs.get(virt),
+                guesses=ctx.guesses,
+                rng=random.Random(f"{base}|virt|{spec.ident[virt]}"),
+            )
+            self.subs[virt] = self.algorithm.make(sub_ctx)
+
+    # -- virtual round plumbing -----------------------------------------
+    def _virts_all_done(self):
+        return all(sub.done for sub in self.subs.values())
+
+    def _dispatch(self, virt, outgoing, sends):
+        spec = self.spec
+        neighbours = spec.adj[virt]
+        if outgoing is None:
+            return
+        if isinstance(outgoing, Broadcast):
+            items = [(p, outgoing.payload) for p in range(len(neighbours))]
+        else:
+            items = list(outgoing.items())
+        for vport, payload in items:
+            other = neighbours[vport]
+            rport = spec.recv_port[(virt, other)]
+            plan = spec.send_plan[(virt, other)]
+            if plan[0] == "internal":
+                self.virt_round_inbox.setdefault(other, {})[rport] = payload
+            elif plan[0] == "direct":
+                sends.setdefault(plan[1], []).append(("dlv", other, rport, payload))
+            else:
+                sends.setdefault(plan[1], []).append(("rly", other, rport, payload))
+
+    def _advance(self, starting, sends):
+        # Swap buffers so internal (same-host) messages dispatched during
+        # this virtual round land in the *next* round's inbox — exactly
+        # the one-round latency a real edge has.
+        current = self.virt_round_inbox
+        self.virt_round_inbox = {}
+        for virt in self.spec.hosted.get(self.ctx.node, ()):
+            sub = self.subs[virt]
+            if sub.done:
+                continue
+            if starting:
+                outgoing = sub.start()
+            else:
+                outgoing = sub.receive(current.get(virt, {}))
+            self._dispatch(virt, outgoing, sends)
+            if sub.done:
+                self.outputs[virt] = sub.result
+
+    def _absorb(self, inbox, sends):
+        table = self.spec.forward_plan.get(self.ctx.node, {})
+        for port, message in inbox.items():
+            if not (isinstance(message, tuple) and message and message[0] == "vmsg"):
+                continue
+            _, payloads, fin = message
+            if fin:
+                self.announced_ports.add(port)
+            for kind, virt, rport, payload in payloads:
+                if kind == "dlv":
+                    self.virt_round_inbox.setdefault(virt, {})[rport] = payload
+                else:
+                    out_port = table[virt]
+                    sends.setdefault(out_port, []).append(
+                        ("dlv", virt, rport, payload)
+                    )
+
+    def _emit(self, sends, fin):
+        """Build the per-port physical messages; fin goes to every port."""
+        if fin:
+            return {
+                port: ("vmsg", tuple(sends.get(port, ())), True)
+                for port in range(self.ctx.degree)
+            }
+        if not sends:
+            return None
+        return {
+            port: ("vmsg", tuple(payloads), False)
+            for port, payloads in sends.items()
+        }
+
+    def _maybe_finish(self):
+        if self._virts_all_done() and self.client_ports <= self.announced_ports:
+            self.finish(dict(self.outputs))
+
+    # -- NodeProcess API --------------------------------------------------
+    def start(self):
+        sends = {}
+        fin = False
+        if self.subs:
+            self._advance(starting=True, sends=sends)
+        if self._virts_all_done() and not self.announced:
+            self.announced = True
+            fin = True
+        self._maybe_finish()
+        return self._emit(sends, fin)
+
+    def receive(self, inbox):
+        sends = {}
+        self._absorb(inbox, sends)
+        self.phase += 1
+        relay_only = self.spec.dilation == 2 and self.phase % 2 == 1
+        if not relay_only and not self._virts_all_done():
+            self._advance(starting=False, sends=sends)
+        fin = False
+        if self._virts_all_done() and not self.announced:
+            self.announced = True
+            fin = True
+        self._maybe_finish()
+        return self._emit(sends, fin)
+
+
+def virtualize(spec, algorithm, *, virt_inputs=None, name=None):
+    """Wrap ``algorithm`` (for the derived graph) as a physical algorithm.
+
+    The wrapped algorithm's output at a physical node is the dict
+    ``virtual node -> output``; use :func:`flatten_outputs` to merge the
+    per-host dicts into a single mapping over virtual nodes.
+    """
+    virt_inputs = virt_inputs or {}
+    return LocalAlgorithm(
+        name=name or f"virtual[{algorithm.name}]",
+        process=lambda ctx: _VirtualHostProcess(ctx, spec, algorithm, virt_inputs),
+        requires=algorithm.requires,
+        randomized=algorithm.randomized,
+    )
+
+
+def flatten_outputs(spec, physical_outputs, *, default=None):
+    """Merge per-host output dicts into ``virtual node -> output``."""
+    merged = {virt: default for virt in spec.virtual_nodes}
+    for p, value in physical_outputs.items():
+        if isinstance(value, dict):
+            for virt, out in value.items():
+                merged[virt] = out
+    return merged

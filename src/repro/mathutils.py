@@ -1,0 +1,127 @@
+"""Small integer-math helpers shared across the library.
+
+These implement the handful of arithmetic functions the paper's bounds
+are written in (``log*``, ceilings of logarithms) plus the prime-field
+utilities needed by Linial-style set-system constructions.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def ceil_log2(x):
+    """⌈log2 x⌉ for x ≥ 1; 0 for x ≤ 1."""
+    if x <= 1:
+        return 0
+    return (int(x) - 1).bit_length() if float(x).is_integer() else math.ceil(
+        math.log2(x)
+    )
+
+
+def floor_log2(x):
+    """⌊log2 x⌋ for x ≥ 1; 0 for x ≤ 1."""
+    if x <= 1:
+        return 0
+    return int(x).bit_length() - 1 if float(x).is_integer() else math.floor(
+        math.log2(x)
+    )
+
+
+def log_star(x):
+    """The iterated logarithm log* x (base 2): steps of log2 until ≤ 1."""
+    count = 0
+    value = float(x)
+    while value > 1.0:
+        value = math.log2(value)
+        count += 1
+    return count
+
+
+_MR_BASES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+
+def is_prime(q):
+    """Miller–Rabin primality with fixed bases.
+
+    Deterministic (no false positives) below 3.3·10^24; above that the
+    fixed-base test is a deterministic *function* with a vanishing
+    heuristic error — acceptable here because a composite modulus would
+    merely yield an improper tentative coloring, which the pruning loop
+    detects and retries.
+    """
+    if q < 2:
+        return False
+    for p in _MR_BASES:
+        if q == p:
+            return True
+        if q % p == 0:
+            return False
+    d = q - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for a in _MR_BASES:
+        x = pow(a, d, q)
+        if x in (1, q - 1):
+            continue
+        for _ in range(r - 1):
+            x = x * x % q
+            if x == q - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def next_prime(x):
+    """Smallest prime ≥ x (Bertrand guarantees quick termination)."""
+    q = max(2, int(math.ceil(x)))
+    while not is_prime(q):
+        q += 1
+    return q
+
+
+def int_ceil_div(a, b):
+    """⌈a / b⌉ for positive integers."""
+    return -(-a // b)
+
+
+def int_nthroot_floor(value, k):
+    """⌊value^(1/k)⌋ by integer Newton iteration (exact, any size).
+
+    Needed because guesses coming from set-sequence inversions can reach
+    2^96 and beyond, far outside float precision.
+    """
+    if value <= 0:
+        return 0
+    if value == 1 or k <= 1:
+        return int(value) if k <= 1 else 1
+    value = int(value)
+    # Initial over-estimate from the bit length: 2^ceil(bits/k) >= root.
+    r = 1 << (-(-value.bit_length() // k))
+    while True:
+        # Newton step for r^k - value.
+        nxt = ((k - 1) * r + value // r ** (k - 1)) // k
+        if nxt >= r:
+            break
+        r = nxt
+    while r**k > value:
+        r -= 1
+    return r
+
+
+def int_nthroot_ceil(value, k):
+    """Smallest integer ``r`` with ``r**k ≥ value`` (exact, any size)."""
+    if value <= 1:
+        return 1
+    floor = int_nthroot_floor(value, k)
+    if floor**k == value:
+        return floor
+    return floor + 1
+
+
+def clamp(x, lo, hi):
+    """Restrict ``x`` to ``[lo, hi]``."""
+    return max(lo, min(hi, x))

@@ -1,0 +1,19 @@
+"""Parameter descriptors and standard weak-domination witnesses."""
+
+from .parameters import PARAMETERS, Parameter, actual_parameters
+from .domination import (
+    A_DOMINATED_BY_N,
+    DELTA_DOMINATED_BY_N,
+    M_DOMINATED_BY_N,
+    standard_witnesses,
+)
+
+__all__ = [
+    "A_DOMINATED_BY_N",
+    "DELTA_DOMINATED_BY_N",
+    "M_DOMINATED_BY_N",
+    "PARAMETERS",
+    "Parameter",
+    "actual_parameters",
+    "standard_witnesses",
+]

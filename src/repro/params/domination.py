@@ -1,0 +1,53 @@
+"""Standard weak-domination witnesses (paper Section 2 and Theorem 3).
+
+``Γ`` is weakly-dominated by ``Λ`` when each parameter of ``Γ \\ Λ`` has
+an ascending function bounding it by some Λ-parameter on every instance.
+The witnesses below hold under the library's instance conventions:
+
+* ``a ≤ n`` and ``Δ ≤ n`` — always (paper's own example);
+* ``m ≤ n³`` — the poly(n) identity-space assumption (DESIGN.md D8),
+  witnessed by ``g(m) = ⌈m^{1/3}⌉ ≤ n`` so the derived guess is
+  ``m̃ = ñ³``.
+"""
+
+from __future__ import annotations
+
+from ..core.weak_domination import DominationWitness
+
+#: a ≼ n with the identity witness (a(G) ≤ n(G) always).
+A_DOMINATED_BY_N = DominationWitness("a", "n")
+
+#: Δ ≼ n with the identity witness (Δ(G) ≤ n(G) always).
+DELTA_DOMINATED_BY_N = DominationWitness("Delta", "n")
+
+
+def _cube_root(x):
+    # ascending g with g(m) ≤ n whenever m ≤ n³
+    r = round(x ** (1.0 / 3.0))
+    while r**3 > x:
+        r -= 1
+    while (r + 1) ** 3 <= x:
+        r += 1
+    return max(1, r)
+
+
+#: m ≼ n via the D8 assumption m ≤ n³ (derived guess m̃ = ñ³).
+M_DOMINATED_BY_N = DominationWitness("m", "n", g=_cube_root)
+
+
+def standard_witnesses(gamma, lam):
+    """Witnesses covering ``gamma \\ lam`` using the standard relations."""
+    catalogue = {
+        "a": A_DOMINATED_BY_N,
+        "Delta": DELTA_DOMINATED_BY_N,
+        "m": M_DOMINATED_BY_N,
+    }
+    missing = [p for p in gamma if p not in lam]
+    witnesses = []
+    for p in missing:
+        if p not in catalogue:
+            raise KeyError(f"no standard witness for parameter {p!r}")
+        if "n" not in lam:
+            raise KeyError("standard witnesses dominate through n")
+        witnesses.append(catalogue[p])
+    return witnesses

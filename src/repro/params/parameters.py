@@ -1,0 +1,48 @@
+"""Non-decreasing graph-parameter descriptors (paper Section 2).
+
+A parameter maps instances to positive integers and must be
+non-decreasing under taking sub-instances for the pruning machinery to
+be monotone (Observation 3.1).  The four the paper uses — and this
+library standardizes on — are ``n``, ``Delta``, ``m`` and ``a``; their
+names are the keys used in guess dictionaries, declared bounds and
+``LocalAlgorithm.requires`` throughout.
+"""
+
+from __future__ import annotations
+
+from ..graphs.params import density_arboricity
+
+
+class Parameter:
+    """A named, non-decreasing graph parameter."""
+
+    __slots__ = ("name", "description", "_compute")
+
+    def __init__(self, name, description, compute):
+        self.name = name
+        self.description = description
+        self._compute = compute
+
+    def compute(self, sim_graph):
+        """Exact value on a :class:`~repro.local.graph.SimGraph`."""
+        return self._compute(sim_graph)
+
+    def __repr__(self):
+        return f"Parameter({self.name})"
+
+
+def _arboricity(sim_graph):
+    return density_arboricity(sim_graph.to_networkx())
+
+
+PARAMETERS = {
+    "n": Parameter("n", "number of nodes", lambda g: g.n),
+    "Delta": Parameter("Delta", "maximum degree", lambda g: g.max_degree),
+    "m": Parameter("m", "largest identity", lambda g: g.max_ident),
+    "a": Parameter("a", "density arboricity", _arboricity),
+}
+
+
+def actual_parameters(sim_graph, names):
+    """The collection Γ*(G, x) of correct values for the named parameters."""
+    return {name: PARAMETERS[name].compute(sim_graph) for name in names}

@@ -1,0 +1,57 @@
+"""Problem definitions and centralized verifiers."""
+
+from .base import Problem, Violation, require_outputs
+from .coloring import (
+    PROPER_COLORING,
+    ColoringProblem,
+    ColorList,
+    SLC,
+    SLCInput,
+    SLCProblem,
+    deg_plus_one_coloring,
+)
+from .decomposition import HPartitionProblem
+from .edge_coloring import EDGE_COLORING, EdgeColoringProblem
+from .forbidden import (
+    STRONG_COLORING,
+    ForbiddenInput,
+    StrongColoringProblem,
+    fresh_inputs,
+)
+from .matching import (
+    MAXIMAL_MATCHING,
+    MaximalMatchingProblem,
+    matched_pairs,
+    partner_to_paper_encoding,
+)
+from .mis import MIS, MISProblem, in_set
+from .ruling import RulingSetProblem, ruling_set
+
+__all__ = [
+    "ColorList",
+    "ColoringProblem",
+    "EDGE_COLORING",
+    "EdgeColoringProblem",
+    "ForbiddenInput",
+    "HPartitionProblem",
+    "STRONG_COLORING",
+    "StrongColoringProblem",
+    "fresh_inputs",
+    "MAXIMAL_MATCHING",
+    "MIS",
+    "MISProblem",
+    "MaximalMatchingProblem",
+    "PROPER_COLORING",
+    "Problem",
+    "RulingSetProblem",
+    "SLC",
+    "SLCInput",
+    "SLCProblem",
+    "Violation",
+    "deg_plus_one_coloring",
+    "in_set",
+    "matched_pairs",
+    "partner_to_paper_encoding",
+    "require_outputs",
+    "ruling_set",
+]

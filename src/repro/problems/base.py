@@ -1,0 +1,62 @@
+"""Problem interface (paper Section 2, "Problems and instances").
+
+A problem is a collection of triplets ``(G, x, y)`` closed under disjoint
+union.  For the reproduction each problem object provides a *centralized
+verifier*: given a graph, the input vector and an output vector it
+returns the list of violated constraints (empty = the triplet belongs to
+the problem).  Benches and the property tests treat a non-empty list as
+a hard failure; the pruning algorithms re-implement the *local* flavour
+of these checks inside the LOCAL model.
+"""
+
+from __future__ import annotations
+
+from ..errors import InvalidInstanceError
+
+
+class Violation:
+    """One violated constraint, attributable to a node or an edge."""
+
+    __slots__ = ("where", "reason")
+
+    def __init__(self, where, reason):
+        self.where = where
+        self.reason = reason
+
+    def __repr__(self):
+        return f"Violation({self.where!r}: {self.reason})"
+
+
+class Problem:
+    """Base class: named problem with a centralized verifier."""
+
+    name = "problem"
+
+    def violations(self, graph, inputs, outputs):
+        """Return the list of violated constraints (empty = solution)."""
+        raise NotImplementedError
+
+    def is_solution(self, graph, inputs, outputs):
+        """True iff ``(G, x, y)`` belongs to the problem."""
+        return not self.violations(graph, inputs, outputs)
+
+    def assert_solution(self, graph, inputs, outputs, *, context=""):
+        """Raise with a readable digest when the output is not a solution."""
+        found = self.violations(graph, inputs, outputs)
+        if found:
+            sample = "; ".join(repr(v) for v in found[:5])
+            raise InvalidInstanceError(
+                f"{self.name} violated{' (' + context + ')' if context else ''}: "
+                f"{len(found)} violation(s), e.g. {sample}"
+            )
+        return True
+
+
+def require_outputs(graph, outputs):
+    """Every node must carry an output value (possibly falsy but present)."""
+    missing = [u for u in graph.nodes if u not in outputs]
+    if missing:
+        raise InvalidInstanceError(
+            f"outputs missing for {len(missing)} node(s), e.g. "
+            f"{sorted(missing, key=repr)[:5]}"
+        )

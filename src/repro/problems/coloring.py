@@ -1,0 +1,188 @@
+"""Vertex coloring problems, including the paper's Strong List Coloring.
+
+Three flavours:
+
+* :class:`ColoringProblem` — proper coloring, optionally with a bound on
+  the palette (global ``k`` or a per-node bound like ``deg+1``);
+* :class:`SLCProblem` — the *strong list-coloring* problem introduced in
+  the proof of Theorem 5: every node carries a common degree estimate
+  ``Δ̂ ≥ Δ`` and a list ``L(v) ⊆ [1, g(Δ̂)] × [1, Δ̂+1]`` containing at
+  least ``deg(v)+1`` pairs per color index; the output must be a proper
+  coloring with ``y(v) ∈ L(v)``.
+
+Lists are represented *implicitly* by :class:`ColorList` (full grid minus
+a removal set) because materializing ``g(Δ̂)·(Δ̂+1)`` pairs per node would
+be quadratic in the degree.
+"""
+
+from __future__ import annotations
+
+from .base import Problem, Violation, require_outputs
+
+
+class ColoringProblem(Problem):
+    """Proper vertex coloring with an optional palette restriction.
+
+    Parameters
+    ----------
+    max_colors:
+        ``None`` (properness only), an integer ``k`` (colors must lie in
+        ``[1, k]``), or a callable ``(graph, node) -> int`` giving a
+        per-node bound (e.g. ``deg(v)+1`` for the Section 5.1 problem).
+    """
+
+    def __init__(self, max_colors=None, name=None):
+        self.max_colors = max_colors
+        if name:
+            self.name = name
+        elif max_colors is None:
+            self.name = "coloring"
+        elif callable(max_colors):
+            self.name = "coloring[per-node bound]"
+        else:
+            self.name = f"{max_colors}-coloring"
+
+    def _bound(self, graph, u):
+        if self.max_colors is None:
+            return None
+        if callable(self.max_colors):
+            return self.max_colors(graph, u)
+        return self.max_colors
+
+    def violations(self, graph, inputs, outputs):
+        require_outputs(graph, outputs)
+        found = []
+        for u in graph.nodes:
+            color = outputs[u]
+            if not isinstance(color, int):
+                found.append(Violation(u, f"non-integer color {color!r}"))
+                continue
+            bound = self._bound(graph, u)
+            if color < 1 or (bound is not None and color > bound):
+                found.append(
+                    Violation(u, f"color {color} outside [1, {bound}]")
+                )
+            for v in graph.neighbors(u):
+                if outputs.get(v) == color and graph.ident[u] < graph.ident[v]:
+                    found.append(
+                        Violation((u, v), f"adjacent nodes share color {color}")
+                    )
+        return found
+
+
+#: Properness-only coloring (range handled separately when needed).
+PROPER_COLORING = ColoringProblem()
+
+
+def deg_plus_one_coloring():
+    """The Section 5.1 target: each node colored within [1, deg(v)+1]."""
+    return ColoringProblem(
+        max_colors=lambda graph, u: graph.degree(u) + 1,
+        name="(deg+1)-coloring",
+    )
+
+
+class ColorList:
+    """Implicit list ``[1, width] × [1, copies]`` minus removed pairs.
+
+    ``width`` plays the role of ``g(Δ̂)`` and ``copies`` of ``Δ̂ + 1``;
+    the SLC invariant is that at least ``deg(v)+1`` copies of every color
+    index remain.
+    """
+
+    __slots__ = ("width", "copies", "removed")
+
+    def __init__(self, width, copies, removed=()):
+        self.width = int(width)
+        self.copies = int(copies)
+        self.removed = frozenset(removed)
+
+    def __contains__(self, pair):
+        if not (isinstance(pair, tuple) and len(pair) == 2):
+            return False
+        k, j = pair
+        if not (isinstance(k, int) and isinstance(j, int)):
+            return False
+        return (
+            1 <= k <= self.width
+            and 1 <= j <= self.copies
+            and pair not in self.removed
+        )
+
+    def remaining_copies(self, k):
+        """Number of surviving pairs with color index ``k``."""
+        gone = sum(1 for (kk, _) in self.removed if kk == k)
+        return self.copies - gone
+
+    def first_free(self, k):
+        """Smallest ``j`` with ``(k, j)`` still in the list (None if none)."""
+        for j in range(1, self.copies + 1):
+            if (k, j) not in self.removed:
+                return j
+        return None
+
+    def without(self, pairs):
+        """New list with additional pairs removed."""
+        return ColorList(self.width, self.copies, self.removed | set(pairs))
+
+    def __repr__(self):
+        return (
+            f"ColorList(width={self.width}, copies={self.copies}, "
+            f"removed={len(self.removed)})"
+        )
+
+
+class SLCInput:
+    """Per-node SLC input: common degree estimate + implicit color list."""
+
+    __slots__ = ("delta_hat", "colors", "base_color")
+
+    def __init__(self, delta_hat, colors, base_color=None):
+        self.delta_hat = int(delta_hat)
+        self.colors = colors
+        #: initial color (identities qualify; Section 5.2's "m as colors")
+        self.base_color = base_color
+
+    def __repr__(self):
+        return f"SLCInput(Δ̂={self.delta_hat}, {self.colors!r})"
+
+
+class SLCProblem(Problem):
+    """Verifier for the strong list-coloring problem of Theorem 5."""
+
+    name = "strong-list-coloring"
+
+    def violations(self, graph, inputs, outputs):
+        require_outputs(graph, outputs)
+        found = []
+        inputs = inputs or {}
+        for u in graph.nodes:
+            x = inputs.get(u)
+            if not isinstance(x, SLCInput):
+                found.append(Violation(u, "missing SLCInput"))
+                continue
+            if x.delta_hat < graph.degree(u):
+                found.append(
+                    Violation(u, f"Δ̂={x.delta_hat} below degree {graph.degree(u)}")
+                )
+            for k in range(1, x.colors.width + 1):
+                if x.colors.remaining_copies(k) < graph.degree(u) + 1:
+                    found.append(
+                        Violation(
+                            u,
+                            f"color index {k} has fewer than deg+1 copies",
+                        )
+                    )
+                    break
+            y = outputs[u]
+            if y not in x.colors:
+                found.append(Violation(u, f"output {y!r} not in list"))
+            for v in graph.neighbors(u):
+                if outputs.get(v) == y and graph.ident[u] < graph.ident[v]:
+                    found.append(
+                        Violation((u, v), f"adjacent nodes share pair {y!r}")
+                    )
+        return found
+
+
+SLC = SLCProblem()

@@ -1,0 +1,43 @@
+"""H-partition (forest-decomposition) validity.
+
+The Barenboim–Elkin arboricity rows rest on the *H-partition*: classes
+``H_1, ..., H_ℓ`` such that every node of ``H_i`` has at most
+``threshold`` neighbours in classes ``H_i ∪ H_{i+1} ∪ ...``.  The class
+index is what the peeling procedure outputs; this verifier certifies the
+degree property the class-by-class MIS relies on.
+"""
+
+from __future__ import annotations
+
+from .base import Problem, Violation, require_outputs
+
+
+class HPartitionProblem(Problem):
+    """Verifier for H-partitions with a fixed degree threshold."""
+
+    def __init__(self, threshold):
+        self.threshold = threshold
+        self.name = f"H-partition(threshold={threshold})"
+
+    def violations(self, graph, inputs, outputs):
+        require_outputs(graph, outputs)
+        found = []
+        for u in graph.nodes:
+            cls = outputs[u]
+            if not isinstance(cls, int) or cls < 1:
+                found.append(Violation(u, f"bad class index {cls!r}"))
+                continue
+            later = sum(
+                1
+                for v in graph.neighbors(u)
+                if isinstance(outputs.get(v), int) and outputs[v] >= cls
+            )
+            if later > self.threshold:
+                found.append(
+                    Violation(
+                        u,
+                        f"{later} neighbours in same-or-later classes "
+                        f"(> {self.threshold})",
+                    )
+                )
+        return found

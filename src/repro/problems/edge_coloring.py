@@ -1,0 +1,56 @@
+"""Edge coloring, verified on the physical graph.
+
+Edge colorings are produced by vertex-coloring the line graph through the
+virtual-node layer; the verifier takes the flattened ``edge -> color``
+mapping (edges as ``(u, v)`` with ``ident(u) < ident(v)``, the line-graph
+virtual-node convention).
+"""
+
+from __future__ import annotations
+
+from .base import Problem, Violation
+
+
+class EdgeColoringProblem(Problem):
+    """Proper edge coloring with an optional global palette bound."""
+
+    def __init__(self, max_colors=None):
+        self.max_colors = max_colors
+        self.name = (
+            f"{max_colors}-edge-coloring" if max_colors else "edge-coloring"
+        )
+
+    def violations(self, graph, inputs, edge_colors):
+        found = []
+        expected = set()
+        for u, v in graph.edges():
+            key = (u, v) if graph.ident[u] < graph.ident[v] else (v, u)
+            expected.add(key)
+            if key not in edge_colors:
+                found.append(Violation(key, "edge without a color"))
+        for key, color in edge_colors.items():
+            if key not in expected:
+                found.append(Violation(key, "color on a non-edge"))
+                continue
+            if not isinstance(color, int) or color < 1:
+                found.append(Violation(key, f"bad color {color!r}"))
+            elif self.max_colors is not None and color > self.max_colors:
+                found.append(
+                    Violation(key, f"color {color} > {self.max_colors}")
+                )
+        by_node = {}
+        for (u, v), color in edge_colors.items():
+            for endpoint in (u, v):
+                seen = by_node.setdefault(endpoint, {})
+                if color in seen:
+                    found.append(
+                        Violation(
+                            endpoint,
+                            f"two incident edges share color {color}",
+                        )
+                    )
+                seen[color] = (u, v)
+        return found
+
+
+EDGE_COLORING = EdgeColoringProblem()

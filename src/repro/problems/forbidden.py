@@ -1,0 +1,84 @@
+"""Strong g-coloring with forbidden lists (paper Section 6.3).
+
+The conclusion of the paper proposes studying *strong g-coloring*: each
+node ``v`` carries a set ``F(v)`` of forbidden colors and must pick a
+color in ``[1, g] \\ F(v)`` such that the result is proper.  The paper
+conjectures this is the right formulation to make coloring prunable:
+pruning a node with color ``c`` can simply add ``c`` to the surviving
+neighbours' forbidden sets, restoring the gluing property that defeats
+plain g-coloring.
+
+This module realizes the proposal.  Solvability is maintained by the
+*capacity invariant* ``|F(v)| + deg(v) + 1 ≤ g``: pruning one neighbour
+adds at most one forbidden color while reducing the degree by one, so
+the invariant survives — the exact mechanism the SLC lists of Theorem 5
+use, transplanted to the flat-palette setting the paper sketches.
+"""
+
+from __future__ import annotations
+
+from .base import Problem, Violation, require_outputs
+
+
+class ForbiddenInput:
+    """Per-node input: palette size ``g`` and the forbidden set."""
+
+    __slots__ = ("g", "forbidden")
+
+    def __init__(self, g, forbidden=()):
+        self.g = int(g)
+        self.forbidden = frozenset(forbidden)
+
+    def allowed(self, color):
+        return (
+            isinstance(color, int)
+            and 1 <= color <= self.g
+            and color not in self.forbidden
+        )
+
+    def without(self, colors):
+        """New input with additional forbidden colors."""
+        return ForbiddenInput(self.g, self.forbidden | set(colors))
+
+    def __repr__(self):
+        return f"ForbiddenInput(g={self.g}, |F|={len(self.forbidden)})"
+
+
+class StrongColoringProblem(Problem):
+    """Verifier for the Section 6.3 strong coloring problem."""
+
+    name = "strong-g-coloring"
+
+    def violations(self, graph, inputs, outputs):
+        require_outputs(graph, outputs)
+        inputs = inputs or {}
+        found = []
+        for u in graph.nodes:
+            x = inputs.get(u)
+            if not isinstance(x, ForbiddenInput):
+                found.append(Violation(u, "missing ForbiddenInput"))
+                continue
+            if len(x.forbidden) + graph.degree(u) + 1 > x.g:
+                found.append(
+                    Violation(u, "capacity invariant |F|+deg+1 ≤ g violated")
+                )
+            color = outputs[u]
+            if not x.allowed(color):
+                found.append(
+                    Violation(u, f"color {color!r} forbidden or out of range")
+                )
+            for v in graph.neighbors(u):
+                if outputs.get(v) == color and graph.ident[u] < graph.ident[v]:
+                    found.append(
+                        Violation((u, v), f"adjacent nodes share color {color}")
+                    )
+        return found
+
+
+STRONG_COLORING = StrongColoringProblem()
+
+
+def fresh_inputs(graph, g):
+    """Empty-forbidden-set instance with palette ``g`` (must satisfy the
+    capacity invariant: ``g ≥ Δ + 1``)."""
+    return {u: ForbiddenInput(g) for u in graph.nodes}

@@ -1,0 +1,88 @@
+"""Maximal matching, in the paper's output encoding.
+
+Section 2: given ``(G, x, y)``, nodes ``u`` and ``v`` are *matched* when
+``(u,v) ∈ E``, ``y(u) = y(v)`` and ``y(w) ≠ y(u)`` for every other node
+``w`` of ``N(u) ∪ N(v)``.  The MM problem requires each node to be either
+matched to a neighbour, or to have all its neighbours matched.
+
+Algorithms internally use the conventional *partner* encoding (partner
+identity or ``None``); :func:`partner_to_paper_encoding` converts, giving
+matched pairs the shared value ``("M", min_id, max_id)`` and unmatched
+nodes the unique value ``("U", Id(v))``.
+"""
+
+from __future__ import annotations
+
+from .base import Problem, Violation, require_outputs
+
+
+def matched_pairs(graph, outputs):
+    """Set of matched edges under the paper's encoding."""
+    pairs = set()
+    for u, v in graph.edges():
+        if outputs.get(u) != outputs.get(v):
+            continue
+        value = outputs[u]
+        clean = True
+        for w in set(graph.neighbors(u)) | set(graph.neighbors(v)):
+            if w in (u, v):
+                continue
+            if outputs.get(w) == value:
+                clean = False
+                break
+        if clean:
+            pairs.add((u, v))
+    return pairs
+
+
+class MaximalMatchingProblem(Problem):
+    """Verifier for maximal matching in the paper's encoding."""
+
+    name = "maximal-matching"
+
+    def violations(self, graph, inputs, outputs):
+        require_outputs(graph, outputs)
+        found = []
+        pairs = matched_pairs(graph, outputs)
+        matched_nodes = set()
+        incident = {u: 0 for u in graph.nodes}
+        for u, v in pairs:
+            matched_nodes.update((u, v))
+            incident[u] += 1
+            incident[v] += 1
+        for u in graph.nodes:
+            if incident[u] > 1:
+                found.append(Violation(u, "node matched to two neighbours"))
+        for u in graph.nodes:
+            if u in matched_nodes:
+                continue
+            if not all(v in matched_nodes for v in graph.neighbors(u)):
+                found.append(
+                    Violation(
+                        u, "unmatched node with an unmatched neighbour"
+                    )
+                )
+        return found
+
+
+MAXIMAL_MATCHING = MaximalMatchingProblem()
+
+
+def partner_to_paper_encoding(graph, partner):
+    """Convert partner-identity outputs to the paper's value encoding.
+
+    ``partner[u]`` is the *identity* of u's partner, or ``None``.  The
+    conversion is deliberately forgiving: inconsistent partner claims
+    simply produce values that fail to form matched pairs, which the
+    verifier/pruner then treats as unmatched — mirroring how a tentative
+    output vector may be arbitrary garbage.
+    """
+    values = {}
+    for u in graph.nodes:
+        p = partner.get(u)
+        if p is None:
+            values[u] = ("U", graph.ident[u])
+        else:
+            a, b = sorted((graph.ident[u], p))
+            values[u] = ("M", a, b)
+    return values

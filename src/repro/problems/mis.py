@@ -1,0 +1,42 @@
+"""Maximal independent set (MIS).
+
+Output encoding (paper Section 1.1): a bit ``b(v)`` per node; the set
+``S = {v : b(v) = 1}`` must be independent and dominating.  MIS is the
+``(2, 1)``-ruling set, but it is used so pervasively that it gets a
+dedicated verifier.
+"""
+
+from __future__ import annotations
+
+from .base import Problem, Violation, require_outputs
+
+
+def in_set(value):
+    """Canonical truthiness for set-membership outputs (1/True in, else out)."""
+    return value in (1, True)
+
+
+class MISProblem(Problem):
+    """Verifier for maximal independent sets."""
+
+    name = "MIS"
+
+    def violations(self, graph, inputs, outputs):
+        require_outputs(graph, outputs)
+        found = []
+        for u in graph.nodes:
+            if in_set(outputs[u]):
+                for v in graph.neighbors(u):
+                    if in_set(outputs[v]) and graph.ident[u] < graph.ident[v]:
+                        found.append(
+                            Violation((u, v), "two adjacent nodes in the set")
+                        )
+            else:
+                if not any(in_set(outputs[v]) for v in graph.neighbors(u)):
+                    found.append(
+                        Violation(u, "node outside the set with no neighbor in it")
+                    )
+        return found
+
+
+MIS = MISProblem()

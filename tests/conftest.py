@@ -1,0 +1,47 @@
+"""Shared fixtures: graph catalogue, identity schemes, SimGraph builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import families, identifiers
+from repro.local import SimGraph
+
+
+def build(graph, *, ident_scheme="poly", seed=0):
+    """Networkx graph -> SimGraph under a named identity scheme."""
+    scheme = identifiers.SCHEMES[ident_scheme]
+    if ident_scheme in ("sequential", "adversarial_path"):
+        idents = scheme(graph)
+    else:
+        idents = scheme(graph, seed=seed)
+    return SimGraph.from_networkx(graph, idents=idents)
+
+
+@pytest.fixture(scope="session")
+def catalog():
+    """The small labelled family catalogue as SimGraphs (poly identities)."""
+    return {
+        name: build(graph, seed=11)
+        for name, graph in families.family_catalog().items()
+    }
+
+
+@pytest.fixture(scope="session")
+def small_gnp():
+    return build(families.gnp(40, 0.1, seed=5), seed=6)
+
+
+@pytest.fixture(scope="session")
+def medium_gnp():
+    return build(families.gnp(90, 0.06, seed=7), seed=8)
+
+
+@pytest.fixture(scope="session")
+def tree():
+    return build(families.random_tree(50, seed=9), seed=10)
+
+
+@pytest.fixture(scope="session")
+def path12():
+    return build(families.path(12), seed=12)

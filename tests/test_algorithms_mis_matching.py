@@ -1,0 +1,261 @@
+"""Luby variants, hash-Luby, ruling sets, line-graph matching, arboricity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.arboricity import (
+    ArbMIS,
+    arb_mis_nonly_bound,
+    arb_mis_product_bound,
+    h_partition,
+    peel_rounds,
+)
+from repro.algorithms.hash_luby import hash_luby_mis, hl_phases
+from repro.algorithms.luby import luby_mc, luby_mis, mc_phases
+from repro.algorithms.matching import (
+    line_matching_bound,
+    line_mis_matching,
+)
+from repro.algorithms.ruling_sets import (
+    bitwise_beta,
+    bitwise_ruling_set,
+    sw_phases,
+    sw_ruling_set,
+)
+from repro.core.domain import PhysicalDomain
+from repro.graphs.params import density_arboricity
+from repro.local import run, run_restricted
+from repro.problems import (
+    MAXIMAL_MATCHING,
+    MIS,
+    HPartitionProblem,
+    RulingSetProblem,
+)
+
+
+class TestLuby:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_always_valid_at_termination(self, small_gnp, seed):
+        result = run(small_gnp, luby_mis(), seed=seed)
+        assert MIS.is_solution(small_gnp, {}, result.outputs)
+
+    def test_uniform(self):
+        assert luby_mis().requires == ()
+        assert luby_mis().randomized
+
+    def test_logarithmic_scaling(self, catalog):
+        """Rounds stay ≤ the MC budget on every catalogue graph."""
+        for name, graph in catalog.items():
+            if graph.n == 0:
+                continue
+            result = run(graph, luby_mis(), seed=1)
+            assert result.rounds <= 2 * mc_phases(graph.n) + 2, name
+
+    def test_mc_guarantee_on_seeds(self, medium_gnp):
+        """The truncated variant succeeds well above its ρ=1/2 promise."""
+        guesses = {"n": medium_gnp.n}
+        wins = sum(
+            MIS.is_solution(
+                medium_gnp,
+                {},
+                run(medium_gnp, luby_mc(), guesses=guesses, seed=s).outputs,
+            )
+            for s in range(10)
+        )
+        assert wins >= 8
+
+    def test_mc_with_tiny_guess_truncates(self, medium_gnp):
+        result = run(medium_gnp, luby_mc(), guesses={"n": 1}, seed=0)
+        assert result.rounds <= 2 * mc_phases(1) + 2
+
+
+class TestHashLuby:
+    def test_no_randomness_consumed(self, small_gnp):
+        a = run(small_gnp, hash_luby_mis(), guesses={"n": small_gnp.n}, seed=1)
+        b = run(small_gnp, hash_luby_mis(), guesses={"n": small_gnp.n}, seed=99)
+        assert a.outputs == b.outputs
+
+    def test_correct_across_catalog(self, catalog):
+        for name, graph in catalog.items():
+            result = run(graph, hash_luby_mis(), guesses={"n": graph.n})
+            assert MIS.is_solution(graph, {}, result.outputs), name
+
+    def test_phase_budget_grows_with_guess(self):
+        assert hl_phases(4) < hl_phases(4096)
+
+
+class TestBitwiseRulingSet:
+    def test_valid_ruling_set(self, catalog):
+        for name, graph in catalog.items():
+            if graph.n == 0:
+                continue
+            m = graph.max_ident
+            result = run(graph, bitwise_ruling_set(), guesses={"m": m})
+            problem = RulingSetProblem(2, bitwise_beta(m))
+            assert problem.is_solution(graph, {}, result.outputs), (
+                name,
+                problem.violations(graph, {}, result.outputs)[:3],
+            )
+
+    def test_rounds_equal_bit_length(self, small_gnp):
+        m = small_gnp.max_ident
+        result = run(small_gnp, bitwise_ruling_set(), guesses={"m": m})
+        assert result.rounds <= m.bit_length()
+
+    def test_deterministic(self, small_gnp):
+        m = small_gnp.max_ident
+        a = run(small_gnp, bitwise_ruling_set(), guesses={"m": m}, seed=1)
+        b = run(small_gnp, bitwise_ruling_set(), guesses={"m": m}, seed=2)
+        assert a.outputs == b.outputs
+
+
+class TestSWRulingSet:
+    @pytest.mark.parametrize("c", [1, 2, 3])
+    def test_independence_always_holds(self, medium_gnp, c):
+        result = run(
+            medium_gnp, sw_ruling_set(c), guesses={"n": medium_gnp.n}, seed=3
+        )
+        rulers = {u for u, v in result.outputs.items() if v == 1}
+        for u in rulers:
+            assert not any(
+                v in rulers for v in medium_gnp.neighbors(u)
+            ), "two adjacent rulers"
+
+    def test_phase_budget_shape(self):
+        # larger c: more 2^c weight, weaker log exponent
+        assert sw_phases(1, 2**20) > sw_phases(1, 2**4)
+        assert sw_phases(3, 2**20) >= 2**3
+
+    @pytest.mark.parametrize("c", [1, 2])
+    def test_usually_a_valid_ruling_set(self, small_gnp, c):
+        wins = 0
+        problem = RulingSetProblem(2, 2 * (c + 1))
+        for seed in range(6):
+            result = run(
+                small_gnp,
+                sw_ruling_set(c),
+                guesses={"n": small_gnp.n},
+                seed=seed,
+            )
+            wins += problem.is_solution(small_gnp, {}, result.outputs)
+        assert wins >= 3  # the declared weak-MC guarantee is 1/2
+
+
+class TestLineMatching:
+    def test_correct_with_good_guesses(self, catalog):
+        box = line_mis_matching()
+        for name in ("gnp48", "regular4_30", "tree40", "star24", "dumbbell"):
+            graph = catalog[name]
+            domain = PhysicalDomain(graph)
+            guesses = {
+                "Delta": max(1, graph.max_degree),
+                "m": graph.max_ident,
+            }
+            budget = line_matching_bound().rounds(guesses)
+            outputs, _ = box.run_restricted(
+                domain,
+                budget,
+                inputs=None,
+                guesses=guesses,
+                seed=1,
+                salt="t",
+                default_output=0,
+            )
+            assert MAXIMAL_MATCHING.is_solution(graph, {}, outputs), (
+                name,
+                MAXIMAL_MATCHING.violations(graph, {}, outputs)[:3],
+            )
+
+    def test_values_contain_own_identity(self, small_gnp):
+        """The invariant P_MM's gluing requires of canonical outputs."""
+        box = line_mis_matching()
+        domain = PhysicalDomain(small_gnp)
+        guesses = {
+            "Delta": max(1, small_gnp.max_degree),
+            "m": small_gnp.max_ident,
+        }
+        budget = line_matching_bound().rounds(guesses)
+        outputs, _ = box.run_restricted(
+            domain, budget, inputs=None, guesses=guesses, seed=2,
+            salt="t", default_output=0,
+        )
+        for u, value in outputs.items():
+            assert small_gnp.ident[u] in value[1:]
+
+    def test_edgeless_graph(self):
+        import networkx as nx
+
+        from repro.local import SimGraph
+
+        graph = SimGraph.from_networkx(nx.empty_graph(5))
+        box = line_mis_matching()
+        outputs, _ = box.run_restricted(
+            PhysicalDomain(graph),
+            10,
+            inputs=None,
+            guesses={"Delta": 1, "m": 10},
+            seed=0,
+            salt="t",
+            default_output=0,
+        )
+        assert MAXIMAL_MATCHING.is_solution(graph, {}, outputs)
+
+
+class TestArboricity:
+    def test_h_partition_validity(self, catalog):
+        for name in ("tree40", "grid4x6", "forest3_32", "caterpillar"):
+            graph = catalog[name]
+            a = density_arboricity(graph.to_networkx())
+            guesses = {"a": a, "n": graph.n}
+            result = run_restricted(
+                graph,
+                h_partition(),
+                peel_rounds(graph.n),
+                default_output=0,
+                guesses=guesses,
+            )
+            assert all(c >= 1 for c in result.outputs.values()), name
+            problem = HPartitionProblem(threshold=4 * a)
+            assert problem.is_solution(graph, {}, result.outputs), (
+                name,
+                problem.violations(graph, {}, result.outputs)[:3],
+            )
+
+    def test_arb_mis_with_correct_guesses(self, catalog):
+        box = ArbMIS()
+        for name in ("tree40", "grid4x6", "forest3_32"):
+            graph = catalog[name]
+            a = density_arboricity(graph.to_networkx())
+            guesses = {"a": a, "n": graph.n}
+            budget = int(arb_mis_product_bound().value(guesses)) + 10
+            outputs, _ = box.run_restricted(
+                PhysicalDomain(graph),
+                budget,
+                inputs=None,
+                guesses=guesses,
+                seed=1,
+                salt="t",
+                default_output=0,
+            )
+            assert MIS.is_solution(graph, {}, outputs), name
+
+    def test_product_bound_dominates_nonly_regime(self):
+        """The n-only bound is self-consistent on the √log-family guesses."""
+        bound = arb_mis_nonly_bound()
+        values = [bound.value({"n": n}) for n in (16, 256, 4096, 2**16)]
+        assert values == sorted(values)
+
+    def test_underestimated_arboricity_gives_garbage_not_crash(self, catalog):
+        graph = catalog["forest3_32"]
+        box = ArbMIS()
+        outputs, _ = box.run_restricted(
+            PhysicalDomain(graph),
+            500,
+            inputs=None,
+            guesses={"a": 1, "n": 4},
+            seed=1,
+            salt="t",
+            default_output=0,
+        )
+        assert set(outputs) == set(graph.nodes)

@@ -1,0 +1,123 @@
+"""Alternating-engine unit tests: ledger, gluing, records, budget cuts."""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.algorithms.greedy import greedy_mis
+from repro.core import AlternatingEngine, mis_pruning, render_trace
+from repro.core.domain import PhysicalDomain
+from repro.local import SimGraph, zero_round_algorithm
+
+
+def sim(graph):
+    return SimGraph.from_networkx(graph)
+
+
+def oracle_mis_algorithm(graph):
+    """Zero-round algorithm that outputs a precomputed MIS bit."""
+    solution = greedy_mis(graph)
+    return zero_round_algorithm("oracle", lambda ctx: solution[ctx.node])
+
+
+def garbage_algorithm():
+    return zero_round_algorithm("garbage", lambda ctx: 0)
+
+
+class TestEngineLedger:
+    def test_charges_budget_plus_pruning(self):
+        g = sim(nx.cycle_graph(9))
+        engine = AlternatingEngine(g, {}, mis_pruning(), seed=1)
+        pruned = engine.step_algorithm(
+            garbage_algorithm(), iteration=1, index=1, guesses={}, budget=5
+        )
+        assert pruned == 0
+        assert engine.rounds == 5 + mis_pruning().rounds
+
+    def test_oracle_prunes_everything(self):
+        g = sim(nx.cycle_graph(9))
+        engine = AlternatingEngine(g, {}, mis_pruning(), seed=1)
+        pruned = engine.step_algorithm(
+            oracle_mis_algorithm(g), iteration=1, index=1, guesses={}, budget=3
+        )
+        assert pruned == 9
+        assert engine.done
+
+    def test_outputs_glued_from_pruned_steps(self):
+        g = sim(nx.path_graph(6))
+        engine = AlternatingEngine(g, {}, mis_pruning(), seed=1)
+        engine.step_algorithm(
+            oracle_mis_algorithm(g), iteration=1, index=1, guesses={}, budget=2
+        )
+        result = engine.finalize("demo")
+        from repro.problems import MIS
+
+        assert MIS.is_solution(g, {}, result.outputs)
+        assert result.completed
+
+    def test_finalize_defaults_leftovers(self):
+        g = sim(nx.path_graph(4))
+        engine = AlternatingEngine(
+            g, {}, mis_pruning(), seed=1, default_output="raw"
+        )
+        engine.step_algorithm(
+            garbage_algorithm(), iteration=1, index=1, guesses={}, budget=1
+        )
+        result = engine.finalize("demo", completed=False)
+        assert set(result.outputs.values()) == {"raw"}
+        assert not result.completed
+
+    def test_step_on_empty_domain_is_free(self):
+        g = sim(nx.empty_graph(0))
+        engine = AlternatingEngine(g, {}, mis_pruning(), seed=1)
+        assert engine.done
+        pruned = engine.step_algorithm(
+            garbage_algorithm(), iteration=1, index=1, guesses={}, budget=99
+        )
+        assert pruned == 0
+        assert engine.rounds == 0
+
+    def test_charge_helper(self):
+        g = sim(nx.path_graph(3))
+        engine = AlternatingEngine(g, {}, mis_pruning(), seed=1)
+        engine.charge(11)
+        assert engine.rounds == 11
+
+
+class TestRecordsAndTrace:
+    def test_step_records_fields(self):
+        g = sim(nx.cycle_graph(6))
+        engine = AlternatingEngine(g, {}, mis_pruning(), seed=1)
+        engine.step_algorithm(
+            oracle_mis_algorithm(g),
+            iteration=3,
+            index=2,
+            guesses={"n": 64},
+            budget=4,
+        )
+        record = engine.steps[0]
+        assert record.iteration == 3
+        assert record.index == 2
+        assert record.guesses == {"n": 64}
+        assert record.nodes_before == 6
+        assert record.nodes_after == 0
+
+    def test_trace_contains_guesses(self):
+        g = sim(nx.cycle_graph(6))
+        engine = AlternatingEngine(g, {}, mis_pruning(), seed=1)
+        engine.step_algorithm(
+            oracle_mis_algorithm(g),
+            iteration=1,
+            index=1,
+            guesses={"n": 64},
+            budget=4,
+        )
+        text = render_trace(engine.finalize("demo"))
+        assert "n=64" in text
+
+    def test_domain_input_accepted(self):
+        g = sim(nx.path_graph(5))
+        engine = AlternatingEngine(
+            PhysicalDomain(g), {}, mis_pruning(), seed=1
+        )
+        assert engine.active == 5

@@ -1,0 +1,77 @@
+"""Bench-harness units: measurement, reporting, workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import TABLE1
+from repro.algorithms.fast_mis import fast_mis_nonuniform
+from repro.algorithms.matching import line_matching_nonuniform
+from repro.bench import (
+    WORKLOADS,
+    build_graph,
+    format_table,
+    growth_factors,
+    measure_nonuniform,
+    measure_row,
+    sized_suite,
+)
+from repro.graphs import families
+from repro.problems import MIS
+
+
+class TestWorkloads:
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_all_workloads_build(self, name):
+        graph = WORKLOADS[name](32, seed=1)
+        sim = build_graph(graph, seed=1)
+        assert sim.n >= 16
+        assert sim.max_ident <= max(8, sim.n**3)
+
+    def test_sized_suite_labels(self):
+        suite = sized_suite("tree", (16, 32), seed=1)
+        assert [label for label, _ in suite] == ["tree-n16", "tree-n32"]
+
+
+class TestMeasurement:
+    def test_measure_nonuniform_local_box(self):
+        graph = build_graph(families.random_regular(24, 4, seed=2), seed=2)
+        rounds, outputs, params = measure_nonuniform(
+            fast_mis_nonuniform(), graph, seed=3
+        )
+        assert rounds > 0
+        assert MIS.is_solution(graph, {}, outputs)
+        assert params["Delta"] == 4
+
+    def test_measure_nonuniform_host_box(self):
+        graph = build_graph(families.random_regular(16, 4, seed=2), seed=2)
+        rounds, outputs, params = measure_nonuniform(
+            line_matching_nonuniform(), graph, seed=3
+        )
+        assert rounds > 0
+        assert set(outputs) == set(graph.nodes)
+
+    def test_measure_row_fields(self):
+        graph = build_graph(families.random_regular(24, 4, seed=2), seed=2)
+        meas = measure_row(TABLE1["mis-fast"], "demo", graph, seed=4)
+        assert meas.uniform_ok and meas.nonuniform_ok
+        assert meas.ratio > 0
+        row = meas.row()
+        assert row[0] == "demo"
+        assert "ok" in row
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["a", "long-header"], [[1, 2], [333, 4]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("a")
+        assert len({len(line) for line in lines[1:]}) <= 2
+
+    def test_growth_factors(self):
+        assert growth_factors([10, 20, 40]) == [2.0, 2.0]
+        assert growth_factors([0, 5]) == [float("inf")]
+        assert growth_factors([7]) == []

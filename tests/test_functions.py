@@ -1,0 +1,109 @@
+"""Function classes of Section 2 and the Theorem 5 growth machinery."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.functions import (
+    DEFAULT_DOMAIN,
+    GrowthFunction,
+    certify_moderately_fast,
+    certify_moderately_increasing,
+    certify_moderately_slow,
+    certify_non_decreasing,
+    g_linear,
+    g_power,
+    g_quadratic,
+)
+from repro.errors import ParameterError
+
+
+class TestCertifiers:
+    def test_log_is_moderately_slow_not_increasing(self):
+        fn = lambda x: math.log2(x + 1) + 1
+        assert certify_moderately_slow(fn, alpha=2, domain=DEFAULT_DOMAIN)
+        assert not certify_moderately_increasing(
+            fn, alpha=4, domain=DEFAULT_DOMAIN
+        )
+
+    def test_constant_is_moderately_slow(self):
+        fn = lambda x: 7
+        assert certify_moderately_slow(fn, alpha=1, domain=DEFAULT_DOMAIN)
+
+    def test_polynomial_is_moderately_increasing(self):
+        # the paper: x^k1 log^k2 x is moderately-increasing for k1 ≥ 1
+        fn = lambda x: x * (math.log2(x + 1) + 1)
+        assert certify_moderately_increasing(
+            fn, alpha=4, domain=DEFAULT_DOMAIN
+        )
+
+    def test_exponential_not_moderately_slow(self):
+        fn = lambda x: 2.0**x
+        assert not certify_moderately_slow(fn, alpha=64, domain=range(2, 40))
+
+    def test_decreasing_rejected(self):
+        fn = lambda x: -x
+        assert not certify_non_decreasing(fn, DEFAULT_DOMAIN)
+
+    def test_moderately_fast_needs_x_below_fx(self):
+        fn = lambda x: x  # not strictly above x
+        assert not certify_moderately_fast(fn, alpha=2, domain=range(1, 30))
+
+
+class TestGrowthFunction:
+    def test_linear_growth_validates(self):
+        g = g_linear(3)
+        assert g(4) == 15
+
+    def test_lambda_one_rejected(self):
+        with pytest.raises(ParameterError):
+            g_linear(1)
+
+    def test_quadratic(self):
+        g = g_quadratic()
+        assert g(3) == 16
+
+    def test_power(self):
+        g = g_power(1.5)
+        assert g(8) > 8
+
+    def test_invert_doubling(self):
+        g = g_quadratic()
+        target = 2 * g(5)
+        boundary = g.invert_doubling(target)
+        assert g(boundary) >= target
+        assert g(boundary - 1) < target
+
+    def test_layer_boundaries_cover_degrees(self):
+        g = g_quadratic()
+        boundaries = g.layer_boundaries(100)
+        assert boundaries[0] == 1
+        assert boundaries[-1] > 100
+        # doubling property: g(D_{i+1}) ≥ 2 g(D_i)
+        for a, b in zip(boundaries, boundaries[1:]):
+            assert g(b) >= 2 * g(a)
+
+    def test_layer_of_consistent_with_boundaries(self):
+        g = g_quadratic()
+        boundaries = g.layer_boundaries(64)
+        for degree in (0, 1, 2, 5, 17, 63, 64):
+            layer = g.layer_of(degree)
+            low = boundaries[layer - 1]
+            high = boundaries[layer]
+            assert low <= max(1, degree) < high
+
+    def test_layers_give_disjoint_color_ranges(self):
+        """[g(D_{i+1})+1, 2g(D_{i+1})] are pairwise disjoint (Thm 5)."""
+        g = g_quadratic()
+        boundaries = g.layer_boundaries(200)
+        ranges = [
+            (g(b) + 1, 2 * g(b)) for b in boundaries[1:]
+        ]
+        for (lo1, hi1), (lo2, hi2) in zip(ranges, ranges[1:]):
+            assert hi1 < lo2
+
+    def test_bad_growth_rejected(self):
+        with pytest.raises(ParameterError):
+            GrowthFunction(lambda x: x, alpha=2, name="identity")

@@ -1,0 +1,157 @@
+"""Graph substrate: families, identifiers, parameters."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InvalidInstanceError
+from repro.graphs import (
+    arboricity_bounds,
+    degeneracy,
+    density_arboricity,
+    families,
+    graph_parameters,
+    identifiers,
+    max_density,
+    nash_williams_exact,
+)
+from repro.local import SimGraph
+
+
+class TestFamilies:
+    def test_catalog_shapes(self):
+        catalog = families.family_catalog()
+        assert len(catalog) >= 12
+        for name, graph in catalog.items():
+            assert graph.number_of_nodes() > 0, name
+
+    def test_forest_union_arboricity(self):
+        for k in (1, 2, 4):
+            graph = families.forest_union(40, k, seed=3)
+            assert density_arboricity(graph) <= k
+
+    def test_tree_is_tree(self):
+        graph = families.random_tree(30, seed=1)
+        assert nx.is_tree(graph)
+
+    def test_star_with_noise_high_degree(self):
+        graph = families.star_with_noise(50, 20, seed=2)
+        assert max(dict(graph.degree()).values()) == 49
+
+    def test_regular_validation(self):
+        with pytest.raises(InvalidInstanceError):
+            families.random_regular(5, 3)  # odd product
+
+    def test_disjoint_union_counts(self):
+        combined = families.disjoint_union(
+            [families.path(5), families.cycle(6)]
+        )
+        assert combined.number_of_nodes() == 11
+
+    def test_grid_planar_bounds(self):
+        graph = families.grid(5, 5)
+        assert max(dict(graph.degree()).values()) <= 4
+        assert density_arboricity(graph) <= 2
+
+    def test_dumbbell_structure(self):
+        graph = families.dumbbell(6, 2)
+        degrees = sorted(dict(graph.degree()).values())
+        assert degrees[-1] >= 5
+
+
+class TestIdentifiers:
+    @pytest.mark.parametrize("name", list(identifiers.SCHEMES))
+    def test_schemes_valid(self, name):
+        graph = families.gnp(30, 0.15, seed=1)
+        scheme = identifiers.SCHEMES[name]
+        idents = scheme(graph) if name in (
+            "sequential",
+            "adversarial_path",
+        ) else scheme(graph, seed=3)
+        assert identifiers.validate_idents(graph, idents)
+
+    def test_poly_space(self):
+        graph = families.path(50)
+        idents = identifiers.poly_idents(graph, seed=2)
+        assert max(idents.values()) <= 50**3
+
+    def test_compact_is_permutation(self):
+        graph = families.path(20)
+        idents = identifiers.compact_idents(graph, seed=1)
+        assert sorted(idents.values()) == list(range(1, 21))
+
+    def test_validation_rejects_duplicates(self):
+        graph = families.path(3)
+        with pytest.raises(InvalidInstanceError):
+            identifiers.validate_idents(graph, {0: 1, 1: 1, 2: 2})
+
+
+class TestArboricityMachinery:
+    def test_known_densities(self):
+        from fractions import Fraction
+
+        assert max_density(nx.complete_graph(4)) == Fraction(3, 2)
+        assert max_density(nx.cycle_graph(7)) == Fraction(1)
+        assert max_density(nx.empty_graph(5)) == 0
+
+    def test_density_of_planted_dense_subgraph(self):
+        graph = nx.disjoint_union(nx.complete_graph(6), nx.path_graph(30))
+        from fractions import Fraction
+
+        assert max_density(graph) == Fraction(15, 6)
+
+    def test_degeneracy_values(self):
+        assert degeneracy(nx.complete_graph(5)) == 4
+        assert degeneracy(nx.random_tree(20, seed=1) if hasattr(nx, "random_tree") else families.random_tree(20, seed=1)) == 1
+        assert degeneracy(nx.empty_graph(4)) == 0
+
+    @given(
+        n=st.integers(min_value=2, max_value=10),
+        p=st.floats(min_value=0.1, max_value=0.9),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_sandwich_against_bruteforce(self, n, p, seed):
+        graph = nx.gnp_random_graph(n, p, seed=seed)
+        if graph.number_of_edges() == 0:
+            return
+        exact = nash_williams_exact(graph)
+        dens = density_arboricity(graph)
+        dgen = degeneracy(graph)
+        assert dens <= exact <= dgen
+        assert dgen <= 2 * exact
+
+    def test_bounds_helper(self):
+        graph = families.forest_union(30, 3, seed=1)
+        lower, upper = arboricity_bounds(graph)
+        assert lower <= upper
+
+    def test_non_decreasing_under_subgraphs(self):
+        graph = families.gnp(25, 0.3, seed=5)
+        whole = density_arboricity(graph)
+        sub = graph.subgraph(list(graph.nodes())[:15])
+        assert density_arboricity(sub) <= whole
+
+
+class TestGraphParameters:
+    def test_all_four(self):
+        graph = families.gnp(20, 0.2, seed=1)
+        idents = identifiers.poly_idents(graph, seed=1)
+        sim = SimGraph.from_networkx(graph, idents=idents)
+        params = graph_parameters(sim)
+        assert params["n"] == 20
+        assert params["Delta"] == sim.max_degree
+        assert params["m"] == max(idents.values())
+        assert params["a"] >= 1
+
+    def test_parameter_registry(self):
+        from repro.params import PARAMETERS, actual_parameters
+
+        graph = families.path(10)
+        sim = SimGraph.from_networkx(graph)
+        values = actual_parameters(sim, ("n", "Delta", "m"))
+        # integer labels 0..9 are shifted to positive identities 1..10
+        assert values == {"n": 10, "Delta": 2, "m": 10}
+        assert set(PARAMETERS) == {"n", "Delta", "m", "a"}

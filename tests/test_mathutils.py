@@ -1,0 +1,105 @@
+"""Integer-math helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mathutils import (
+    ceil_log2,
+    clamp,
+    floor_log2,
+    int_ceil_div,
+    int_nthroot_ceil,
+    int_nthroot_floor,
+    is_prime,
+    log_star,
+    next_prime,
+)
+
+
+class TestLogs:
+    @pytest.mark.parametrize(
+        "x,expected", [(1, 0), (2, 1), (3, 2), (4, 2), (1024, 10), (1025, 11)]
+    )
+    def test_ceil_log2(self, x, expected):
+        assert ceil_log2(x) == expected
+
+    @pytest.mark.parametrize(
+        "x,expected", [(1, 0), (2, 1), (3, 1), (4, 2), (1023, 9)]
+    )
+    def test_floor_log2(self, x, expected):
+        assert floor_log2(x) == expected
+
+    @pytest.mark.parametrize(
+        "x,expected", [(1, 0), (2, 1), (4, 2), (16, 3), (65536, 4)]
+    )
+    def test_log_star(self, x, expected):
+        assert log_star(x) == expected
+
+    def test_log_star_tower(self):
+        # 2^1000 -> 1000 -> 9.97 -> 3.32 -> 1.73 -> 0.79: five steps.
+        assert log_star(2.0**1000) == 5
+
+
+class TestPrimes:
+    def test_small_primes(self):
+        primes = [q for q in range(60) if is_prime(q)]
+        assert primes == [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59]
+
+    def test_known_carmichael_rejected(self):
+        assert not is_prime(561)
+        assert not is_prime(41041)
+
+    def test_large_known_prime(self):
+        assert is_prime(2**89 - 1)
+        assert not is_prime(2**89 - 3)
+
+    def test_next_prime(self):
+        assert next_prime(14) == 17
+        assert next_prime(17) == 17
+        assert is_prime(next_prime(2**40))
+
+    @given(st.integers(min_value=2, max_value=10**6))
+    @settings(max_examples=80, deadline=None)
+    def test_against_trial_division(self, q):
+        def trial(x):
+            if x < 2:
+                return False
+            return all(x % f for f in range(2, int(math.isqrt(x)) + 1))
+
+        assert is_prime(q) == trial(q)
+
+
+class TestRoots:
+    @given(
+        value=st.integers(min_value=1, max_value=2**220),
+        k=st.integers(min_value=1, max_value=96),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_nthroot_ceil_exact(self, value, k):
+        r = int_nthroot_ceil(value, k)
+        assert r**k >= value
+        assert r == 1 or (r - 1) ** k < value
+
+    @given(
+        root=st.integers(min_value=1, max_value=10**6),
+        k=st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_perfect_powers(self, root, k):
+        assert int_nthroot_floor(root**k, k) == root
+        assert int_nthroot_ceil(root**k, k) == root
+
+
+class TestMisc:
+    def test_ceil_div(self):
+        assert int_ceil_div(7, 3) == 3
+        assert int_ceil_div(9, 3) == 3
+
+    def test_clamp(self):
+        assert clamp(5, 1, 3) == 3
+        assert clamp(-5, 1, 3) == 1
+        assert clamp(2, 1, 3) == 2

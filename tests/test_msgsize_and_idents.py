@@ -1,0 +1,92 @@
+"""Message-size estimation (§6.2) and adversarial identity regimes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.fast_mis import fast_mis_nonuniform
+from repro.algorithms.hash_luby import hash_luby_nonuniform
+from repro.algorithms.luby import luby_mis
+from repro.core import mis_pruning, theorem1
+from repro.graphs import families, identifiers
+from repro.local import SimGraph, estimate_bits, run
+from repro.problems import MIS
+
+
+class TestEstimateBits:
+    def test_integers_scale_with_magnitude(self):
+        assert estimate_bits(1) < estimate_bits(2**40)
+
+    def test_none_and_bool_are_tiny(self):
+        assert estimate_bits(None) == 1
+        assert estimate_bits(True) == 1
+
+    def test_containers_sum(self):
+        flat = estimate_bits((1, 2, 3))
+        assert flat > estimate_bits(1) + estimate_bits(2) + estimate_bits(3)
+
+    def test_dicts_count_keys_and_values(self):
+        assert estimate_bits({1: 2}) > estimate_bits(1) + estimate_bits(2)
+
+    def test_strings(self):
+        assert estimate_bits("abcd") == 32
+
+
+class TestTrackBits:
+    def test_disabled_by_default(self, small_gnp):
+        result = run(small_gnp, luby_mis(), seed=1)
+        assert result.max_message_bits is None
+
+    def test_enabled_reports_positive(self, small_gnp):
+        result = run(small_gnp, luby_mis(), seed=1, track_bits=True)
+        assert result.max_message_bits > 0
+
+    def test_payloads_track_identity_space_not_guesses(self, small_gnp):
+        """§6.2: inflating a guess must not inflate payloads."""
+        from repro.algorithms.fast_mis import fast_mis
+
+        base = run(
+            small_gnp,
+            fast_mis(),
+            guesses={"Delta": small_gnp.max_degree, "m": small_gnp.max_ident},
+            seed=1,
+            track_bits=True,
+        )
+        inflated = run(
+            small_gnp,
+            fast_mis(),
+            guesses={
+                "Delta": small_gnp.max_degree,
+                "m": small_gnp.max_ident**3,
+            },
+            seed=1,
+            track_bits=True,
+            max_rounds=50_000,
+        )
+        assert inflated.max_message_bits <= base.max_message_bits + 16
+
+
+class TestAdversarialIdentities:
+    """Uniformization must survive hostile identity assignments."""
+
+    @pytest.mark.parametrize("scheme", ["sequential", "adversarial_path"])
+    def test_uniform_mis_under_hostile_ids(self, scheme):
+        graph = families.gnp(40, 0.12, seed=9)
+        idents = identifiers.SCHEMES[scheme](graph)
+        sim = SimGraph.from_networkx(graph, idents=idents)
+        for box in (hash_luby_nonuniform(), fast_mis_nonuniform()):
+            uniform = theorem1(box, mis_pruning())
+            result = uniform.run(sim, seed=5)
+            assert MIS.is_solution(sim, {}, result.outputs), (
+                scheme,
+                box.name,
+            )
+
+    def test_huge_sparse_identities(self):
+        """Identities near the poly(n) ceiling stress log* m terms."""
+        graph = families.random_regular(30, 4, seed=1)
+        idents = identifiers.poly_idents(graph, seed=1, exponent=3)
+        sim = SimGraph.from_networkx(graph, idents=idents)
+        uniform = theorem1(fast_mis_nonuniform(), mis_pruning())
+        result = uniform.run(sim, seed=2)
+        assert MIS.is_solution(sim, {}, result.outputs)

@@ -1,0 +1,80 @@
+"""Theorem 4: the fastest-of-k portfolio."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.fast_mis import fast_mis_nonuniform
+from repro.algorithms.hash_luby import hash_luby_nonuniform
+from repro.algorithms.luby import luby_mis
+from repro.algorithms.registry import corollary1_portfolio
+from repro.core import LocalMember, mis_pruning, theorem1, theorem4
+from repro.problems import MIS
+
+
+class TestPortfolioBasics:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            theorem4([], mis_pruning())
+
+    def test_non_uniform_member_rejected(self):
+        from repro.algorithms.fast_mis import fast_mis
+
+        with pytest.raises(ValueError):
+            LocalMember(fast_mis())
+
+    def test_single_member_correct(self, small_gnp):
+        uni = theorem1(hash_luby_nonuniform(), mis_pruning())
+        port = theorem4([uni], mis_pruning())
+        result = port.run(small_gnp, seed=1)
+        assert MIS.is_solution(small_gnp, {}, result.outputs)
+
+    def test_local_member_luby(self, small_gnp):
+        port = theorem4([LocalMember(luby_mis())], mis_pruning())
+        result = port.run(small_gnp, seed=2)
+        assert MIS.is_solution(small_gnp, {}, result.outputs)
+
+    def test_portfolio_uniform(self):
+        port = corollary1_portfolio()
+        assert port.requires == ()
+
+
+class TestCorollary1i:
+    def test_correct_on_catalog(self, catalog):
+        port = corollary1_portfolio()
+        for name, graph in catalog.items():
+            result = port.run(graph, seed=3)
+            assert MIS.is_solution(graph, {}, result.outputs), name
+
+    def test_min_time_property(self, catalog):
+        """Portfolio ≤ small-constant × fastest member, per instance."""
+        members = [
+            theorem1(fast_mis_nonuniform(), mis_pruning()),
+            theorem1(hash_luby_nonuniform(), mis_pruning()),
+        ]
+        port = theorem4(
+            [
+                theorem1(fast_mis_nonuniform(), mis_pruning()),
+                theorem1(hash_luby_nonuniform(), mis_pruning()),
+            ],
+            mis_pruning(),
+        )
+        for name in ("star_noise", "regular4_30", "gnp48"):
+            graph = catalog[name]
+            best = min(m.run(graph, seed=5).rounds for m in members)
+            combined = port.run(graph, seed=5).rounds
+            # k=2 members, geometric budgets, pruning: ≤ ~8× the best.
+            assert combined <= 8 * best + 64, (name, combined, best)
+
+    def test_nonly_member_wins_on_high_degree(self, catalog):
+        """On the star the n-only member must carry the portfolio."""
+        graph = catalog["star_noise"]
+        fast = theorem1(fast_mis_nonuniform(), mis_pruning())
+        nonly = theorem1(hash_luby_nonuniform(), mis_pruning())
+        assert nonly.run(graph, seed=7).rounds < fast.run(graph, seed=7).rounds
+
+    def test_nested_portfolio(self, small_gnp):
+        inner = corollary1_portfolio()
+        outer = theorem4([inner], mis_pruning())
+        result = outer.run(small_gnp, seed=9)
+        assert MIS.is_solution(small_gnp, {}, result.outputs)

@@ -1,0 +1,69 @@
+"""Theorem 2: weak Monte-Carlo → uniform Las Vegas."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.luby import luby_mc_bound, luby_mc_nonuniform
+from repro.algorithms.ruling_sets import sw_ruling_set_nonuniform
+from repro.core import RulingSetPruning, mis_pruning, theorem2
+from repro.problems import MIS, RulingSetProblem
+
+
+class TestTheorem2MIS:
+    def test_rejects_deterministic_kind(self):
+        from repro.algorithms.hash_luby import hash_luby_nonuniform
+
+        with pytest.raises(ValueError):
+            theorem2(hash_luby_nonuniform(), mis_pruning())
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_las_vegas_always_correct(self, small_gnp, seed):
+        """Whatever the coins do, a terminating run is a solution."""
+        lv = theorem2(luby_mc_nonuniform(), mis_pruning())
+        result = lv.run(small_gnp, seed=seed)
+        assert MIS.is_solution(small_gnp, {}, result.outputs)
+
+    def test_catalog_correct(self, catalog):
+        lv = theorem2(luby_mc_nonuniform(), mis_pruning())
+        for name, graph in catalog.items():
+            result = lv.run(graph, seed=7)
+            assert MIS.is_solution(graph, {}, result.outputs), name
+
+    def test_expected_time_scale(self, medium_gnp):
+        """Mean rounds across seeds stays within a constant of f*."""
+        lv = theorem2(luby_mc_nonuniform(), mis_pruning())
+        f_star = luby_mc_bound().value({"n": medium_gnp.n})
+        rounds = [lv.run(medium_gnp, seed=s).rounds for s in range(8)]
+        mean = sum(rounds) / len(rounds)
+        assert mean <= 12 * f_star + 64, (mean, f_star)
+
+    def test_uniform(self):
+        lv = theorem2(luby_mc_nonuniform(), mis_pruning())
+        assert lv.requires == ()
+
+
+class TestTheorem2RulingSets:
+    @pytest.mark.parametrize("c", [1, 2])
+    def test_ruling_set_rows(self, small_gnp, c):
+        beta = 2 * (c + 1)
+        lv = theorem2(
+            sw_ruling_set_nonuniform(c), RulingSetPruning(beta=beta)
+        )
+        result = lv.run(small_gnp, seed=3)
+        problem = RulingSetProblem(2, beta)
+        assert problem.is_solution(small_gnp, {}, result.outputs), (
+            problem.violations(small_gnp, {}, result.outputs)[:3]
+        )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_ruling_set_many_seeds(self, tree, seed):
+        lv = theorem2(sw_ruling_set_nonuniform(2), RulingSetPruning(beta=6))
+        result = lv.run(tree, seed=seed)
+        assert RulingSetProblem(2, 6).is_solution(tree, {}, result.outputs)
+
+    def test_budget_restriction(self, small_gnp):
+        lv = theorem2(luby_mc_nonuniform(), mis_pruning())
+        capped = lv.run(small_gnp, seed=1, budget=3)
+        assert capped.rounds <= 3
+        assert not capped.completed

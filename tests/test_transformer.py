@@ -1,0 +1,135 @@
+"""Theorem 1: correctness, time bound, uniformity, restriction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.fast_mis import fast_mis_bound, fast_mis_nonuniform
+from repro.algorithms.hash_luby import hash_luby_bound, hash_luby_nonuniform
+from repro.core import (
+    AlternationDiverged,
+    NonUniform,
+    mis_pruning,
+    render_trace,
+    theorem1,
+)
+from repro.core.bounds import AdditiveBound, linear
+from repro.local import LocalAlgorithm, NodeProcess
+from repro.params import actual_parameters
+from repro.problems import MIS
+
+
+class TestTheorem1Correctness:
+    def test_catalog_mis_correct(self, catalog):
+        uni = theorem1(hash_luby_nonuniform(), mis_pruning())
+        for name, graph in catalog.items():
+            result = uni.run(graph, seed=3)
+            assert MIS.is_solution(graph, {}, result.outputs), (
+                name,
+                MIS.violations(graph, {}, result.outputs)[:3],
+            )
+            assert result.completed
+
+    def test_two_parameter_bound_correct(self, medium_gnp):
+        uni = theorem1(fast_mis_nonuniform(), mis_pruning())
+        result = uni.run(medium_gnp, seed=5)
+        assert MIS.is_solution(medium_gnp, {}, result.outputs)
+
+    def test_uniform_requires_nothing(self):
+        uni = theorem1(hash_luby_nonuniform(), mis_pruning())
+        assert uni.requires == ()
+
+    def test_rejects_monte_carlo_kind(self):
+        from repro.algorithms.luby import luby_mc_nonuniform
+
+        with pytest.raises(ValueError):
+            theorem1(luby_mc_nonuniform(), mis_pruning())
+
+    def test_deterministic_given_seed(self, small_gnp):
+        uni = theorem1(hash_luby_nonuniform(), mis_pruning())
+        a = uni.run(small_gnp, seed=9)
+        b = uni.run(small_gnp, seed=9)
+        assert a.outputs == b.outputs
+        assert a.rounds == b.rounds
+
+
+class TestTheorem1TimeBound:
+    """rounds(π) ≤ C · f* · s_f(f*) — the theorem's statement."""
+
+    def test_additive_bound_overhead(self, catalog):
+        uni = theorem1(fast_mis_nonuniform(), mis_pruning())
+        for name, graph in catalog.items():
+            if graph.n == 0:
+                continue
+            result = uni.run(graph, seed=2)
+            params = actual_parameters(graph, ("Delta", "m"))
+            params["Delta"] = max(1, params["Delta"])
+            f_star = fast_mis_bound().value(params)
+            # additive bounds: s_f = 1; the engine's geometric budgets
+            # plus pruning give a small constant (≤ 10 with margin).
+            assert result.rounds <= 10 * f_star + 64, (
+                name,
+                result.rounds,
+                f_star,
+            )
+
+    def test_nonly_bound_overhead(self, catalog):
+        uni = theorem1(hash_luby_nonuniform(), mis_pruning())
+        for name, graph in catalog.items():
+            result = uni.run(graph, seed=2)
+            f_star = hash_luby_bound().value({"n": max(2, graph.n)})
+            assert result.rounds <= 10 * f_star + 64, (name, result.rounds)
+
+
+class TestRestriction:
+    def test_budget_zero_defaults_everything(self, small_gnp):
+        uni = theorem1(hash_luby_nonuniform(), mis_pruning())
+        result = uni.run(small_gnp, seed=1, budget=0)
+        assert not result.completed
+        assert set(result.outputs.values()) == {0}
+        assert result.rounds == 0
+
+    def test_budget_respected(self, small_gnp):
+        uni = theorem1(hash_luby_nonuniform(), mis_pruning())
+        full = uni.run(small_gnp, seed=1)
+        for budget in (5, full.rounds // 2, full.rounds):
+            capped = uni.run(small_gnp, seed=1, budget=budget)
+            assert capped.rounds <= budget
+
+    def test_budget_at_full_time_completes(self, small_gnp):
+        uni = theorem1(hash_luby_nonuniform(), mis_pruning())
+        full = uni.run(small_gnp, seed=1)
+        again = uni.run(small_gnp, seed=1, budget=full.rounds)
+        assert again.completed
+        assert again.outputs == full.outputs
+
+
+class TestDivergenceDetection:
+    def test_lying_bound_raises(self, path12):
+        """A declared bound that is false must surface, not loop forever."""
+
+        class Stubborn(NodeProcess):
+            def start(self):
+                return None
+
+            def receive(self, inbox):
+                return None  # never terminates, never correct
+
+        broken = NonUniform(
+            LocalAlgorithm("stubborn", Stubborn, requires=("n",)),
+            AdditiveBound([linear("n", 1.0)]),
+            name="stubborn",
+        )
+        uni = theorem1(broken, mis_pruning(), max_iterations=6)
+        with pytest.raises(AlternationDiverged):
+            uni.run(path12, seed=0)
+
+
+class TestTrace:
+    def test_render_trace_mentions_steps(self, small_gnp):
+        uni = theorem1(hash_luby_nonuniform(), mis_pruning())
+        result = uni.run(small_gnp, seed=4)
+        text = render_trace(result)
+        assert "alternating trace" in text
+        assert "P prunes" in text
+        assert "Observation 3.4" in text

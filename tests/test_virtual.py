@@ -1,0 +1,140 @@
+"""Virtual-node layer: derived graphs must behave as if run directly."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.algorithms.fast_mis import fast_mis
+from repro.algorithms.luby import luby_mis
+from repro.core.domain import VirtualDomain
+from repro.graphs import clique_product_spec, line_graph_spec
+from repro.graphs.transforms import line_graph_max_degree
+from repro.local import SimGraph, flatten_outputs, run, virtualize
+from repro.problems import MIS
+
+
+def sim(graph):
+    return SimGraph.from_networkx(graph)
+
+
+def explicit_simgraph(spec):
+    """The derived graph materialized directly (test oracle)."""
+    g = nx.Graph()
+    g.add_nodes_from(spec.virtual_nodes)
+    for v, neighbours in spec.adj.items():
+        for w in neighbours:
+            g.add_edge(v, w)
+    return SimGraph.from_networkx(g, idents=spec.ident)
+
+
+GRAPHS = [
+    nx.path_graph(6),
+    nx.cycle_graph(7),
+    nx.star_graph(5),
+    nx.random_regular_graph(3, 10, seed=1),
+    nx.gnp_random_graph(14, 0.25, seed=2),
+]
+
+
+class TestLineGraphSpec:
+    @pytest.mark.parametrize("graph", GRAPHS)
+    def test_structure_matches_networkx_line_graph(self, graph):
+        g = sim(graph)
+        spec = line_graph_spec(g)
+        ours = explicit_simgraph(spec).to_networkx()
+        reference = nx.line_graph(graph)
+        relabel = {(u, v) if u < v else (v, u) for u, v in reference.nodes()}
+        assert {frozenset(e) for e in ours.nodes()} == {
+            frozenset(e) for e in relabel
+        }
+        assert ours.number_of_edges() == reference.number_of_edges()
+
+    @pytest.mark.parametrize("graph", GRAPHS)
+    def test_max_degree_formula(self, graph):
+        g = sim(graph)
+        spec = line_graph_spec(g)
+        explicit = explicit_simgraph(spec)
+        assert explicit.max_degree == line_graph_max_degree(g)
+
+    def test_dilation_two_on_paths(self):
+        g = sim(nx.path_graph(5))
+        spec = line_graph_spec(g)
+        assert spec.dilation in (1, 2)
+
+
+class TestCliqueProductSpec:
+    @pytest.mark.parametrize("graph", GRAPHS)
+    def test_clique_sizes(self, graph):
+        g = sim(graph)
+        spec = clique_product_spec(g)
+        for u in g.nodes:
+            members = [v for v in spec.virtual_nodes if v[0] == u]
+            assert len(members) == g.degree(u) + 1
+
+    def test_dilation_one(self):
+        g = sim(nx.cycle_graph(6))
+        spec = clique_product_spec(g)
+        assert spec.dilation == 1
+
+    def test_cross_edges_respect_min_degree(self):
+        g = sim(nx.star_graph(3))
+        spec = clique_product_spec(g)
+        hub, leaf = 0, 1
+        # leaf has degree 1: only index 0..1 exist; cross edges limited
+        # to i < 1 + min(deg) = 2.
+        assert (leaf, 1) in spec.adj[(hub, 1)]
+        assert all((hub, i) not in spec.adj.get((leaf, 2), ()) for i in range(4))
+
+
+class TestSimulationEquivalence:
+    """The virtualized run must equal the direct run on the derived graph."""
+
+    @pytest.mark.parametrize("graph", GRAPHS)
+    def test_line_graph_mis_equivalence(self, graph):
+        g = sim(graph)
+        spec = line_graph_spec(g)
+        explicit = explicit_simgraph(spec)
+        guesses = {
+            "Delta": max(1, explicit.max_degree),
+            "m": explicit.max_ident,
+        }
+        direct = run(explicit, fast_mis(), guesses=guesses, seed=3)
+        wrapped = virtualize(spec, fast_mis())
+        hosted = run(g, wrapped, guesses=guesses, seed=3)
+        merged = flatten_outputs(spec, hosted.outputs)
+        assert merged == direct.outputs
+        assert hosted.rounds <= spec.dilation * direct.rounds + 6
+
+    @pytest.mark.parametrize("graph", GRAPHS)
+    def test_clique_product_luby_valid_mis(self, graph):
+        g = sim(graph)
+        spec = clique_product_spec(g)
+        explicit = explicit_simgraph(spec)
+        wrapped = virtualize(spec, luby_mis())
+        hosted = run(g, wrapped, seed=4)
+        merged = flatten_outputs(spec, hosted.outputs)
+        assert MIS.is_solution(explicit, {}, merged)
+
+    def test_virtual_domain_run_restricted_defaults(self):
+        g = sim(nx.cycle_graph(8))
+        spec = line_graph_spec(g)
+        domain = VirtualDomain(g, spec)
+        outputs, charged = domain.run_restricted(
+            fast_mis(),
+            1,  # far too few virtual rounds
+            guesses={"Delta": 4, "m": 10**6},
+            default_output="cut",
+        )
+        assert charged >= 1
+        assert "cut" in set(outputs.values())
+
+    def test_virtual_domain_subgraph(self):
+        g = sim(nx.cycle_graph(8))
+        spec = line_graph_spec(g)
+        domain = VirtualDomain(g, spec)
+        keep = list(spec.virtual_nodes)[:4]
+        sub = domain.subgraph(keep)
+        assert sub.n == 4
+        for v in keep:
+            assert set(sub.neighbors(v)) <= set(keep)

@@ -1,0 +1,108 @@
+"""Theorem 3: weakly-dominated parameter sets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.arboricity import (
+    arb_mis_nonuniform_nonly,
+    arb_mis_nonuniform_product,
+    sqrt_log_witness,
+)
+from repro.core import (
+    DominationWitness,
+    ExtendedBound,
+    extend_nonuniform,
+    mis_pruning,
+    theorem1,
+    theorem3,
+)
+from repro.core.bounds import AdditiveBound, log2_of
+from repro.errors import ParameterError
+from repro.problems import MIS
+
+
+class TestWitnesses:
+    def test_identity_witness_derivation(self):
+        w = DominationWitness("a", "n")
+        assert w.derive(17) == 17
+
+    def test_sqrt_log_family_witness(self):
+        w = sqrt_log_witness()
+        # g(a) = 2^(a²); derived ã = max{y : 2^(y²) ≤ ñ}
+        assert w.derive(2) == 1
+        assert w.derive(16) == 2
+        assert w.derive(2**9) == 3
+        assert w.derive(2**16) == 4
+
+    def test_cube_witness(self):
+        from repro.params import M_DOMINATED_BY_N
+
+        # m ≤ n³: derived m̃ should be ≥ ñ³-ish
+        derived = M_DOMINATED_BY_N.derive(10)
+        assert derived >= 1000
+
+    def test_witness_via_must_be_bound_param(self):
+        bound = AdditiveBound([log2_of("n")])
+        with pytest.raises(ParameterError):
+            ExtendedBound(bound, [DominationWitness("a", "Delta")])
+
+
+class TestExtendedBound:
+    def test_vectors_carry_derived_guesses(self):
+        bound = AdditiveBound([log2_of("n", 2.0)])
+        extended = ExtendedBound(bound, [sqrt_log_witness()])
+        vectors = extended.set_sequence(64)
+        assert vectors
+        for vector in vectors:
+            assert "a" in vector and "n" in vector
+            assert 2 ** (vector["a"] ** 2) <= vector["n"]
+            assert 2 ** ((vector["a"] + 1) ** 2) > vector["n"]
+
+    def test_inherits_sequence_number(self):
+        bound = AdditiveBound([log2_of("n", 2.0)])
+        extended = ExtendedBound(bound, [sqrt_log_witness()])
+        assert extended.sequence_number(100) == bound.sequence_number(100)
+
+    def test_value_ignores_derived_params(self):
+        bound = AdditiveBound([log2_of("n", 2.0)])
+        extended = ExtendedBound(bound, [sqrt_log_witness()])
+        assert extended.value({"n": 16}) == bound.value({"n": 16})
+
+
+class TestTheorem3:
+    def test_uncovered_parameter_rejected(self):
+        nu = arb_mis_nonuniform_nonly()  # Γ = {a, n}, Λ = {n}
+        with pytest.raises(ParameterError):
+            extend_nonuniform(nu, [])
+
+    def test_arb_nonly_on_low_arboricity_family(self, tree):
+        uni = theorem3(
+            arb_mis_nonuniform_nonly(), mis_pruning(), [sqrt_log_witness()]
+        )
+        result = uni.run(tree, seed=5)
+        assert MIS.is_solution(tree, {}, result.outputs)
+        assert uni.requires == ()
+
+    def test_arb_nonly_catalog_low_arb(self, catalog):
+        uni = theorem3(
+            arb_mis_nonuniform_nonly(), mis_pruning(), [sqrt_log_witness()]
+        )
+        for name in ("path16", "grid4x6", "tree40", "caterpillar", "cycle17"):
+            graph = catalog[name]
+            result = uni.run(graph, seed=2)
+            assert MIS.is_solution(graph, {}, result.outputs), name
+
+    def test_product_path_still_works(self, catalog):
+        uni = theorem1(arb_mis_nonuniform_product(), mis_pruning())
+        graph = catalog["forest3_32"]
+        result = uni.run(graph, seed=4)
+        assert MIS.is_solution(graph, {}, result.outputs)
+
+    def test_dispatches_randomized_kind(self):
+        from repro.algorithms.luby import luby_mc_nonuniform
+        from repro.core.randomized import UniformLasVegas
+
+        nu = luby_mc_nonuniform()
+        uni = theorem3(nu, mis_pruning(), [])
+        assert isinstance(uni, UniformLasVegas)
