@@ -14,15 +14,13 @@ more, structurally identical interface.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from ..mathutils import int_ceil_div
 
 
-def kw_schedule(palette, delta):
-    """Entering palette sizes of each halving phase.
-
-    Each phase costs ``2*(delta+1)`` rounds; after the last phase the
-    palette is ``delta+1``.
-    """
+@lru_cache(maxsize=4096)
+def _kw_schedule_cached(palette, delta):
     target = max(1, delta + 1)
     group_size = 2 * target
     phases = []
@@ -30,7 +28,18 @@ def kw_schedule(palette, delta):
     while k > target:
         phases.append(k)
         k = int_ceil_div(k, group_size) * target
-    return phases
+    return tuple(phases)
+
+
+def kw_schedule(palette, delta):
+    """Entering palette sizes of each halving phase.
+
+    Each phase costs ``2*(delta+1)`` rounds; after the last phase the
+    palette is ``delta+1``.  Pure in ``(palette, delta)`` and identical
+    at every node of a run, so the derivation is memoized (callers get a
+    fresh list).
+    """
+    return list(_kw_schedule_cached(palette, delta))
 
 
 def kw_total_rounds(palette, delta):

@@ -19,6 +19,7 @@ algorithm built from this box remains correct with certainty.
 from __future__ import annotations
 
 import hashlib
+from functools import lru_cache
 
 from ..core.bounds import AdditiveBound, log2_squared
 from ..core.transformer import NonUniform
@@ -26,10 +27,17 @@ from ..local.algorithm import LocalAlgorithm
 from .luby import NOT_IN_SET, LubyProcess
 
 
-def _hash_priority(ctx, phase):
-    material = f"{ctx.ident}|{phase}".encode()
+@lru_cache(maxsize=65536)
+def _hash_bits(ident, phase):
+    material = f"{ident}|{phase}".encode()
     digest = hashlib.blake2b(material, digest_size=8).digest()
     return int.from_bytes(digest, "big")
+
+
+def _hash_priority(ctx, phase):
+    # Pure in (ident, phase) and recomputed with identical arguments at
+    # every alternation step, so the digest is memoized.
+    return _hash_bits(ctx.ident, phase)
 
 
 #: Phase schedule: ⌈log2 ñ⌉² phases is far beyond the observed O(log n).
@@ -37,6 +45,7 @@ HL_PHASE_FACTOR = 2
 HL_PHASE_CONSTANT = 8
 
 
+@lru_cache(maxsize=1024)
 def hl_phases(n_guess):
     bits = max(1, (max(1, int(n_guess))).bit_length())
     return HL_PHASE_FACTOR * bits * bits + HL_PHASE_CONSTANT

@@ -23,6 +23,8 @@ else the identity.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from ..local.algorithm import LocalAlgorithm, NodeProcess
 from ..local.message import Broadcast
 from ..mathutils import int_nthroot_ceil, log_star, next_prime
@@ -50,19 +52,24 @@ def best_system(m_cur, delta):
     return next_prime(best_lower), best_d
 
 
+@lru_cache(maxsize=1024)
 def linial_schedule(m_guess, delta_guess):
     """The deterministic reduction schedule for guesses ``(m̃, Δ̃)``.
 
-    Returns ``(steps, final_palette)`` where steps is a list of
+    Returns ``(steps, final_palette)`` where steps is a tuple of
     ``(q, d)`` and the final palette is the fixpoint ``≤
     next_prime(Δ̃+1)²`` (or ``m̃`` itself when already small).
+
+    The schedule is a pure function of the guesses and every node of a
+    run computes it with identical arguments, so it is memoized — one
+    derivation per (m̃, Δ̃) instead of one per node.
     """
     m_cur = max(2, int(m_guess))
     steps = []
     while True:
         q, d = best_system(m_cur, delta_guess)
         if q * q >= m_cur:
-            return steps, m_cur
+            return tuple(steps), m_cur
         steps.append((q, d))
         m_cur = q * q
 
@@ -90,15 +97,17 @@ def linial_steps_upper(m_guess):
     return log_star(max(2, m_guess)) + 4
 
 
+@lru_cache(maxsize=65536)
 def _digits(value, base, count):
     out = []
     v = value
     for _ in range(count):
         out.append(v % base)
         v //= base
-    return out
+    return tuple(out)
 
 
+@lru_cache(maxsize=65536)
 def _poly_eval(coeffs, x, q):
     acc = 0
     for c in reversed(coeffs):

@@ -27,6 +27,8 @@ of Theorem 2.  Its priorities come from ``ctx.rng``; see
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from ..core.bounds import AdditiveBound, log2_of
 from ..core.transformer import NonUniform
 from ..local.algorithm import LocalAlgorithm, NodeProcess
@@ -51,8 +53,10 @@ class LubyProcess(NodeProcess):
 
     def _draw(self):
         self.phases += 1
-        self.bid = (self.priority_source(self.ctx, self.phases), self.ctx.ident)
-        return Broadcast(("bid",) + self.bid)
+        priority = self.priority_source(self.ctx, self.phases)
+        ident = self.ctx.ident
+        self.bid = (priority, ident)
+        return Broadcast(("bid", priority, ident))
 
     def start(self):
         if self.ctx.degree == 0:
@@ -62,20 +66,20 @@ class LubyProcess(NodeProcess):
 
     def receive(self, inbox):
         if self.bidding:
-            rivals = [
-                (payload[1], payload[2])
-                for payload in inbox.values()
-                if payload and payload[0] == "bid"
-            ]
-            if all(self.bid < rival for rival in rivals):
-                self.finish(1)
-                return Broadcast(("win",))
-            self.bidding = False
-            return None
+            bid = self.bid
+            for payload in inbox.values():
+                if payload and payload[0] == "bid" and (payload[1], payload[2]) <= bid:
+                    # A rival (strictly ordered by the ident tie-break)
+                    # beats us; sit out the decision round.
+                    self.bidding = False
+                    return None
+            self.finish(1)
+            return Broadcast(("win",))
         # decision round
-        if any(payload and payload[0] == "win" for payload in inbox.values()):
-            self.finish(0)
-            return None
+        for payload in inbox.values():
+            if payload and payload[0] == "win":
+                self.finish(0)
+                return None
         if self.phase_budget is not None and self.phases >= self.phase_budget:
             self.finish(NOT_IN_SET)
             return None
@@ -103,6 +107,7 @@ MC_PHASE_FACTOR = 4
 MC_PHASE_CONSTANT = 6
 
 
+@lru_cache(maxsize=1024)
 def mc_phases(n_guess):
     """Phase budget of the truncated variant for a guess ñ."""
     bits = max(1, (max(1, int(n_guess))).bit_length())

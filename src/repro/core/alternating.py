@@ -156,10 +156,14 @@ class AlternatingEngine:
             pruned=len(prune.pruned),
         )
         self.steps.append(record)
-        survivors = [u for u in self.domain.nodes if u not in prune.pruned]
-        self.domain = self.domain.subgraph(survivors)
+        pruned = prune.pruned
+        if pruned:
+            survivors = [u for u in self.domain.nodes if u not in pruned]
+            self.domain = self.domain.subgraph(survivors)
+        else:
+            survivors = self.domain.nodes
         self.inputs = {u: prune.new_inputs.get(u) for u in survivors}
-        return len(prune.pruned)
+        return len(pruned)
 
     def step_algorithm(self, algorithm, *, iteration, index, guesses, budget):
         """Standard step: run ``algorithm`` restricted to ``budget`` rounds.

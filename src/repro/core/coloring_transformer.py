@@ -56,13 +56,17 @@ class _SLCWrapProcess(NodeProcess):
             raise ParameterError("SLC wrapper needs SLCInput inputs")
         guesses = dict(ctx.guesses)
         guesses["Delta"] = x.delta_hat
+        # Share the outer node's random source, lazily: the inner
+        # algorithm may never draw, and the scheme tag must propagate so
+        # nested layers derive sub-streams consistently.
         inner_ctx = NodeContext(
             node=ctx.node,
             ident=ctx.ident,
             degree=ctx.degree,
             input=None,
             guesses=guesses,
-            rng=ctx.rng,
+            rng_factory=lambda _ident: ctx.rng,
+            rng_mode=ctx.rng_mode,
         )
         self.inner = base_algorithm.make(inner_ctx)
 

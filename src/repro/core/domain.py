@@ -15,12 +15,18 @@ clique product) — so both are hidden behind a :class:`Domain`:
 
 Restriction semantics follow the paper: a budgeted run forces the default
 output ("0") on nodes that have not terminated.
+
+Domain runs honour the process-wide runner backend
+(:func:`repro.local.runner.use_backend`) and accept per-call ``backend``
+/ ``rng`` overrides; restriction uses the incremental subgraph paths
+(``SimGraph.subgraph`` / ``VirtualSpec.restricted``), so one alternation
+step costs O(pruned work), not O(steps · n log n).
 """
 
 from __future__ import annotations
 
 from ..local.graph import SimGraph
-from ..local.runner import run, run_restricted
+from ..local.runner import resolve_backend, run, run_restricted
 from ..local.virtual import VirtualSpec, flatten_outputs, virtualize
 
 #: Extra physical rounds charged per virtual-domain run for the
@@ -120,6 +126,8 @@ class PhysicalDomain(Domain):
         seed=0,
         salt=0,
         default_output=0,
+        backend=None,
+        rng=None,
     ):
         result = run_restricted(
             self.graph,
@@ -130,6 +138,8 @@ class PhysicalDomain(Domain):
             guesses=guesses,
             seed=seed,
             salt=salt,
+            backend=backend,
+            rng=rng,
         )
         return result.outputs, budget
 
@@ -142,6 +152,8 @@ class PhysicalDomain(Domain):
         seed=0,
         salt=0,
         max_rounds=None,
+        backend=None,
+        rng=None,
     ):
         result = run(
             self.graph,
@@ -151,6 +163,8 @@ class PhysicalDomain(Domain):
             seed=seed,
             salt=salt,
             max_rounds=max_rounds,
+            backend=backend,
+            rng=rng,
         )
         return result.outputs, result.rounds
 
@@ -197,8 +211,13 @@ class VirtualDomain(Domain):
         seed=0,
         salt=0,
         default_output=0,
+        backend=None,
+        rng=None,
     ):
-        wrapped = virtualize(self.spec, algorithm, virt_inputs=inputs or {})
+        backend, rng = resolve_backend(backend, rng)
+        wrapped = virtualize(
+            self.spec, algorithm, virt_inputs=inputs or {}, engine=backend
+        )
         physical_budget = budget * self.spec.dilation + VIRTUAL_OVERHEAD
         result = run_restricted(
             self.physical,
@@ -209,6 +228,8 @@ class VirtualDomain(Domain):
             guesses=guesses,
             seed=seed,
             salt=salt,
+            backend=backend,
+            rng=rng,
         )
         outputs = flatten_outputs(
             self.spec, result.outputs, default=default_output
@@ -227,8 +248,13 @@ class VirtualDomain(Domain):
         seed=0,
         salt=0,
         max_rounds=None,
+        backend=None,
+        rng=None,
     ):
-        wrapped = virtualize(self.spec, algorithm, virt_inputs=inputs or {})
+        backend, rng = resolve_backend(backend, rng)
+        wrapped = virtualize(
+            self.spec, algorithm, virt_inputs=inputs or {}, engine=backend
+        )
         result = run(
             self.physical,
             wrapped,
@@ -236,20 +262,28 @@ class VirtualDomain(Domain):
             seed=seed,
             salt=salt,
             max_rounds=max_rounds,
+            backend=backend,
+            rng=rng,
         )
         return flatten_outputs(self.spec, result.outputs), result.rounds
 
     def subgraph(self, keep):
-        keep = set(keep)
-        adj = {
-            v: [w for w in self.spec.adj[v] if w in keep]
-            for v in self.spec.virtual_nodes
-            if v in keep
-        }
-        host = {v: self.spec.host[v] for v in adj}
-        ident = {v: self.spec.ident[v] for v in adj}
-        spec = VirtualSpec(host, ident, adj, self.physical)
-        return VirtualDomain(self.physical, spec)
+        from ..local.runner import DEFAULT_BACKEND
+
+        if DEFAULT_BACKEND == "reference":
+            # Seed-faithful path: rebuild the spec (and its routes) from
+            # scratch, as the original implementation did.
+            keep = set(keep)
+            adj = {
+                v: [w for w in self.spec.adj[v] if w in keep]
+                for v in self.spec.virtual_nodes
+                if v in keep
+            }
+            host = {v: self.spec.host[v] for v in adj}
+            ident = {v: self.spec.ident[v] for v in adj}
+            spec = VirtualSpec(host, ident, adj, self.physical)
+            return VirtualDomain(self.physical, spec)
+        return VirtualDomain(self.physical, self.spec.restricted(keep))
 
     def as_simgraph(self):
         import networkx as nx

@@ -42,6 +42,13 @@ from ..problems.ruling import RulingSetProblem
 #: Sentinel output for nodes kept in the instance with unchanged input.
 KEEP = ("keep", None)
 
+#: Shared broadcast payloads of the ruling-set pruner (tuples are
+#: immutable, so every node can broadcast the same object).
+_Y_IN = ("y", True)
+_Y_OUT = ("y", False)
+_C_ON = ("c", True)
+_C_OFF = ("c", False)
+
 
 class PruneResult:
     """Outcome of one pruning application."""
@@ -126,27 +133,29 @@ class _RulingSetPruneProcess(NodeProcess):
         self.center_near = False
 
     def start(self):
-        return Broadcast(("y", in_set(self.y_hat)))
+        return Broadcast(_Y_IN if in_set(self.y_hat) else _Y_OUT)
 
     def receive(self, inbox):
         self.step += 1
         if self.step == 1:
-            neighbour_in = [
-                payload[1]
-                for payload in inbox.values()
-                if payload and payload[0] == "y"
-            ]
-            self.center = in_set(self.y_hat) and not any(neighbour_in)
-            return Broadcast(("c", self.center))
+            center = in_set(self.y_hat)
+            if center:
+                for payload in inbox.values():
+                    if payload and payload[0] == "y" and payload[1]:
+                        center = False
+                        break
+            self.center = center
+            return Broadcast(_C_ON if center else _C_OFF)
         # Flooding steps 2 .. beta+1: center within (step-1) hops?
-        heard = any(
-            payload[1]
-            for payload in inbox.values()
-            if payload and payload[0] == "c"
-        )
-        self.center_near = self.center_near or heard
+        if not self.center_near:
+            for payload in inbox.values():
+                if payload and payload[0] == "c" and payload[1]:
+                    self.center_near = True
+                    break
         if self.step < self.beta + 1:
-            return Broadcast(("c", self.center or self.center_near))
+            return Broadcast(
+                _C_ON if (self.center or self.center_near) else _C_OFF
+            )
         pruned = self.center or (
             not in_set(self.y_hat) and self.center_near
         )

@@ -17,16 +17,25 @@ from .algorithm import (
 )
 from .msgsize import estimate_bits
 from .composition import Chain, default_carry
-from .context import NodeContext, make_rng
+from .context import CounterRNG, NodeContext, make_rng
+from .engine import CompiledGraph
 from .graph import SimGraph
 from .message import Broadcast
-from .runner import RunResult, run, run_restricted
+from .runner import (
+    RunResult,
+    run,
+    run_restricted,
+    set_default_backend,
+    use_backend,
+)
 from .virtual import VirtualSpec, flatten_outputs, virtualize
 from .wakeup import run_with_wakeup, running_time, termination_times
 
 __all__ = [
     "Broadcast",
     "Chain",
+    "CompiledGraph",
+    "CounterRNG",
     "FunctionProcess",
     "HostAlgorithm",
     "LocalAlgorithm",
@@ -43,7 +52,9 @@ __all__ = [
     "run_restricted",
     "run_with_wakeup",
     "running_time",
+    "set_default_backend",
     "termination_times",
+    "use_backend",
     "virtualize",
     "zero_round_algorithm",
 ]

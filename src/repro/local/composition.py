@@ -68,13 +68,17 @@ class _ChainProcess(NodeProcess):
     def _sub_ctx(self):
         stage = self.stage_index
         ctx = self.ctx
+        # Stage RNGs are derived from the identity alone (stable across
+        # backends); built lazily so deterministic stages never pay for
+        # generator construction.
         return NodeContext(
             node=ctx.node,
             ident=ctx.ident,
             degree=ctx.degree,
             input=self.carry(stage, ctx.input, self.sub_outputs),
             guesses=ctx.guesses,
-            rng=random.Random(f"{ctx.ident}|chain-stage|{stage}"),
+            rng_factory=lambda ident: random.Random(f"{ident}|chain-stage|{stage}"),
+            rng_mode=ctx.rng_mode,
         )
 
     def _progress(self):

@@ -7,13 +7,159 @@ paper), and a private source of random bits.  The context deliberately
 does *not* reference the graph: the only way information flows between
 nodes is through messages handled by the runner, which is what makes the
 simulations honest.
+
+Random sources
+--------------
+Two per-node derivation schemes exist (DESIGN.md, deviation D9):
+
+* ``"mt"`` — the seed repository's scheme: a :class:`random.Random`
+  (Mersenne Twister) seeded from ``f"{seed!r}|{salt!r}|{ident!r}"``.
+  SHA-512-based seeding is stable across processes but costs ~7µs per
+  node, which dominates run setup at n in the thousands.
+* ``"counter"`` — a splitmix64 counter generator
+  (:class:`CounterRNG`) keyed by a per-run SHA-512 digest mixed with the
+  node identity.  Construction is ~50ns; streams are independent across
+  nodes and reproducible across processes.  This is the compiled
+  engine's default and is in the same spirit as the paper's
+  deterministic-given-IDs derandomization (``hash_luby``).
+
+Both schemes give bit-identical executions across the reference and
+compiled runner backends — the equivalence suite pins the scheme when
+comparing backends.
+
+Contexts may be constructed with an eager generator (``rng=...``) or a
+lazy factory (``rng_factory=...``); the factory is only invoked the
+first time ``ctx.rng`` is touched, so deterministic algorithms never pay
+for generator construction.
 """
 
 from __future__ import annotations
 
+import hashlib
 import random
 
 from ..errors import ParameterError
+
+_MASK64 = (1 << 64) - 1
+#: splitmix64 increment (Steele, Lea & Flood 2014).
+_SPLITMIX_GAMMA = 0x9E3779B97F4A7C15
+#: odd multiplier decorrelating node identities from the run key.
+_IDENT_MIX = 0xD1342543DE82EF95
+
+
+class CounterRNG:
+    """Counter-based per-node random source (splitmix64).
+
+    Implements the subset of the :class:`random.Random` API the
+    simulation layer uses (``getrandbits``, ``random``, ``randrange``,
+    ``randint``).  Anything fancier should derive a full
+    :class:`random.Random` from ``getrandbits(64)`` explicitly, keeping
+    the dependency visible.
+    """
+
+    __slots__ = ("_state",)
+
+    def __init__(self, key):
+        self._state = key & _MASK64
+
+    def _next64(self):
+        # Weyl sequence + single-multiply finalizer (murmur3's fmix64
+        # constant).  One multiply instead of splitmix64's two — ~30%
+        # cheaper in pure Python, and ample mixing for experiment-grade
+        # priorities and coin flips (the streams are not cryptographic).
+        self._state = s = (self._state + _SPLITMIX_GAMMA) & _MASK64
+        z = ((s ^ (s >> 33)) * 0xFF51AFD7ED558CCD) & _MASK64
+        return z ^ (z >> 33)
+
+    def getrandbits(self, k):
+        if 0 < k <= 64:
+            # Inline _next64 — the hot path for priority draws.
+            self._state = s = (self._state + _SPLITMIX_GAMMA) & _MASK64
+            z = ((s ^ (s >> 33)) * 0xFF51AFD7ED558CCD) & _MASK64
+            return (z ^ (z >> 33)) >> (64 - k)
+        if k <= 0:
+            raise ValueError("number of bits must be greater than zero")
+        out = 0
+        filled = 0
+        while filled < k:
+            out = (out << 64) | self._next64()
+            filled += 64
+        return out >> (filled - k)
+
+    def random(self):
+        # 53 explicit mantissa bits, like CPython's Random.random(), so
+        # the result is always in [0, 1) — dividing a raw 64-bit draw by
+        # 2**64 can round up to exactly 1.0.
+        return (self._next64() >> 11) * 1.1102230246251565e-16
+
+    def randrange(self, start, stop=None):
+        if stop is None:
+            start, stop = 0, start
+        width = stop - start
+        if width <= 0:
+            raise ValueError(f"empty range for randrange({start}, {stop})")
+        return start + self._rand_below(width)
+
+    def randint(self, a, b):
+        return self.randrange(a, b + 1)
+
+    def _rand_below(self, n):
+        # Rejection sampling for an unbiased integer in [0, n).
+        k = n.bit_length()
+        r = self.getrandbits(k)
+        while r >= n:
+            r = self.getrandbits(k)
+        return r
+
+
+def make_rng(seed, salt, ident):
+    """Derive a per-node RNG from the run seed, a salt and the identity.
+
+    Different nodes get independent streams; re-running with the same
+    seed reproduces the execution exactly (needed both for debugging and
+    for the deterministic-given-IDs algorithms).  String seed material is
+    hashed by :class:`random.Random` with SHA-512, which is stable across
+    processes (unlike built-in ``hash``).  This is the ``"mt"`` scheme.
+    """
+    return random.Random(f"{seed!r}|{salt!r}|{ident!r}")
+
+
+def run_key(seed, salt):
+    """64-bit per-run key for the ``"counter"`` scheme (SHA-512 based)."""
+    digest = hashlib.sha512(f"{seed!r}|{salt!r}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def counter_rng(key, ident):
+    """Per-node :class:`CounterRNG` from a run key and a node identity."""
+    return CounterRNG(key ^ ((ident * _IDENT_MIX) & _MASK64))
+
+
+def rng_source(mode, seed, salt):
+    """Return ``ident -> generator`` for a named derivation scheme.
+
+    The returned callable is also a valid lazy ``rng_factory`` for
+    :class:`NodeContext` — one shared closure serves every node of a run.
+    """
+    if mode == "mt":
+        return lambda ident: make_rng(seed, salt, ident)
+    if mode == "counter":
+        key = run_key(seed, salt)
+        return lambda ident: counter_rng(key, ident)
+    raise ParameterError(f"unknown rng scheme {mode!r} (use 'mt' or 'counter')")
+
+
+def sub_rng(mode, base, ident):
+    """Derive a hosted virtual node's RNG from a host-drawn 64-bit base.
+
+    Used by the virtual-node layer: the host draws ``base`` once from its
+    own source, each hosted virtual node gets an independent stream.
+    Matches the host's derivation scheme so that reference and compiled
+    host processes remain bit-identical under a pinned scheme.
+    """
+    if mode == "counter":
+        return counter_rng(base, ident)
+    return random.Random(f"{base}|virt|{ident}")
 
 
 class NodeContext:
@@ -36,19 +182,56 @@ class NodeContext:
         ``"a"``) to the common guessed value.  Uniform algorithms receive
         an empty mapping.
     rng:
-        Per-node :class:`random.Random`; independent across nodes, and
-        reproducible from the run seed.
+        Per-node random source; independent across nodes, and
+        reproducible from the run seed.  Materialized lazily when the
+        context was built with ``rng_factory`` (a callable receiving the
+        node identity, so one shared factory serves a whole run).
+    rng_mode:
+        Name of the derivation scheme (``"mt"`` or ``"counter"``) so
+        nested layers (virtual hosts, chains) can derive sub-streams
+        consistently.
     """
 
-    __slots__ = ("node", "ident", "degree", "input", "guesses", "rng")
+    __slots__ = (
+        "node",
+        "ident",
+        "degree",
+        "input",
+        "guesses",
+        "rng_mode",
+        "_rng",
+        "_rng_factory",
+    )
 
-    def __init__(self, node, ident, degree, input, guesses, rng):
+    def __init__(
+        self,
+        node,
+        ident,
+        degree,
+        input,
+        guesses,
+        rng=None,
+        rng_factory=None,
+        rng_mode="mt",
+    ):
         self.node = node
         self.ident = ident
         self.degree = degree
         self.input = input
         self.guesses = guesses
-        self.rng = rng
+        self.rng_mode = rng_mode
+        self._rng = rng
+        self._rng_factory = rng_factory
+
+    @property
+    def rng(self):
+        source = self._rng
+        if source is None:
+            factory = self._rng_factory
+            if factory is None:
+                raise ParameterError("NodeContext built without a random source")
+            source = self._rng = factory(self.ident)
+        return source
 
     def guess(self, name):
         """Return the guessed value of a required global parameter.
@@ -70,15 +253,3 @@ class NodeContext:
             f"NodeContext(ident={self.ident}, degree={self.degree}, "
             f"guesses={self.guesses})"
         )
-
-
-def make_rng(seed, salt, ident):
-    """Derive a per-node RNG from the run seed, a salt and the identity.
-
-    Different nodes get independent streams; re-running with the same
-    seed reproduces the execution exactly (needed both for debugging and
-    for the deterministic-given-IDs algorithms).  String seed material is
-    hashed by :class:`random.Random` with SHA-512, which is stable across
-    processes (unlike built-in ``hash``).
-    """
-    return random.Random(f"{seed!r}|{salt!r}|{ident!r}")

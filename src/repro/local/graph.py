@@ -32,14 +32,49 @@ class SimGraph:
         *neighbour*'s own numbering.
     """
 
-    __slots__ = ("nodes", "ident", "adj", "_degree", "_node_set")
+    __slots__ = ("nodes", "ident", "_adj", "_degree", "_node_set", "_compiled")
 
     def __init__(self, nodes, ident, adj):
         self.nodes = tuple(nodes)
         self.ident = dict(ident)
-        self.adj = adj
-        self._degree = {u: len(adj[u]) for u in self.nodes}
+        # ``adj`` may be None for graphs born from a CSR restriction
+        # (repro.local.engine.CompiledGraph.restrict); the dict view is
+        # then derived lazily from the CSR on first access, so graphs
+        # that only ever run on the compiled engine never build it.
+        self._adj = adj
+        self._degree = (
+            None if adj is None else {u: len(adj[u]) for u in self.nodes}
+        )
         self._node_set = frozenset(self.nodes)
+        #: Lazily built CSR view (repro.local.engine.CompiledGraph).
+        self._compiled = None
+
+    @property
+    def adj(self):
+        view = self._adj
+        if view is None:
+            cg = self._compiled
+            if cg is None:
+                raise InvalidInstanceError(
+                    "SimGraph built with adj=None but no compiled CSR "
+                    "attached; adj=None is reserved for "
+                    "CompiledGraph.restrict children"
+                )
+            labels = cg.labels
+            offsets, neigh, rev = cg.offsets, cg.neigh, cg.rev
+            view = {}
+            start = 0
+            for j, u in enumerate(labels):
+                end = offsets[j + 1]
+                view[u] = tuple(
+                    (p, labels[vi], rp)
+                    for p, (vi, rp) in enumerate(
+                        zip(neigh[start:end], rev[start:end])
+                    )
+                )
+                start = end
+            self._adj = view
+        return view
 
     # ------------------------------------------------------------------
     # construction
@@ -114,11 +149,25 @@ class SimGraph:
         return len(self.nodes)
 
     @property
+    def _degrees(self):
+        table = self._degree
+        if table is None:
+            cg = self._compiled
+            if cg is None:
+                raise InvalidInstanceError(
+                    "SimGraph built with adj=None but no compiled CSR "
+                    "attached; adj=None is reserved for "
+                    "CompiledGraph.restrict children"
+                )
+            table = self._degree = dict(zip(cg.labels, cg.degrees))
+        return table
+
+    @property
     def max_degree(self):
         """Maximum degree Δ (0 for the empty graph)."""
         if not self.nodes:
             return 0
-        return max(self._degree.values())
+        return max(self._degrees.values())
 
     @property
     def max_ident(self):
@@ -129,7 +178,7 @@ class SimGraph:
 
     def degree(self, u):
         """Degree of node ``u``."""
-        return self._degree[u]
+        return self._degrees[u]
 
     def neighbors(self, u):
         """Neighbour labels of ``u`` in port order."""
@@ -140,7 +189,7 @@ class SimGraph:
 
     def edge_count(self):
         """Number of edges."""
-        return sum(self._degree.values()) // 2
+        return sum(self._degrees.values()) // 2
 
     def edges(self):
         """Iterate over edges as (u, v) with ident(u) < ident(v)."""
@@ -153,12 +202,57 @@ class SimGraph:
     # ------------------------------------------------------------------
     # derived graphs
     # ------------------------------------------------------------------
+    def compiled(self):
+        """The cached CSR view of this graph (built on first use)."""
+        view = self._compiled
+        if view is None:
+            from .engine import CompiledGraph
+
+            view = self._compiled = CompiledGraph(self)
+        return view
+
     def subgraph(self, keep):
         """Induced subgraph on ``keep`` with fresh port numbering.
 
         This realizes the instances ``(G_{i+1}, x_{i+1})`` produced by a
         pruning algorithm: pruned nodes leave the network entirely and the
         survivors renumber their ports among themselves.
+
+        Incremental path: ``self.nodes`` and every adjacency row are
+        already sorted by identity, and restriction preserves that order,
+        so survivor ports renumber by a rank scan in O(surviving-degree)
+        via :meth:`CompiledGraph.restrict <repro.local.engine.
+        CompiledGraph.restrict>` — no re-sorting of identities, no global
+        re-porting (the ``subgraph_rebuild`` reference path does the full
+        sort-and-re-port rebuild and is kept as the executable
+        specification).  The child inherits a ready-made CSR, so an
+        alternation never recompiles surviving structure.
+
+        Under the reference backend (``use_backend("reference")``) the
+        rebuild path is used instead, keeping that backend a faithful
+        end-to-end reproduction of the seed execution stack; both paths
+        produce identical graphs (asserted by the equivalence suite).
+        """
+        from .runner import DEFAULT_BACKEND
+
+        if DEFAULT_BACKEND == "reference":
+            return self.subgraph_rebuild(keep)
+        keep_set = keep if isinstance(keep, frozenset) else frozenset(keep)
+        unknown = keep_set - self._node_set
+        if unknown:
+            raise InvalidInstanceError(
+                f"subgraph nodes not in graph: {sorted(unknown, key=repr)[:5]}"
+            )
+        if len(keep_set) == len(self.nodes):
+            return self
+        return self.compiled().restrict(keep_set)
+
+    def subgraph_rebuild(self, keep):
+        """Reference restriction path: full sort-and-re-port rebuild.
+
+        Kept as the executable specification that the incremental
+        :meth:`subgraph` is tested against (DESIGN.md, backend
+        equivalence contract).
         """
         keep_set = set(keep)
         unknown = keep_set - self._node_set

@@ -11,6 +11,20 @@ check which of our algorithms are in that regime.
 length, containers cost the sum of their parts plus a small per-element
 framing overhead.  It is deliberately simple — the interesting quantity
 is the *growth* of the maximum payload with n and Δ, not absolute bytes.
+
+Guards and memoization
+----------------------
+Recursion is bounded by :data:`MAX_DEPTH`; beyond it a payload is
+charged by its ``repr`` length (conservative), so adversarial or
+accidentally self-nesting payloads cannot blow the stack.  Flat tuples
+whose elements are all exactly ``int`` or ``str`` — the dominant
+payload shape (``("bid", priority, ident)``-style records) — are
+memoized, so a ``track_bits=True`` run stops re-walking the identical
+broadcast payload once per edge and once per round.  The memo is
+restricted to that shape because within it Python equality implies an
+identical estimate; broader value-keyed caching would collapse
+numerically-equal payloads of different types (``1`` / ``1.0`` /
+``True``) into one entry and return wrong sizes.
 """
 
 from __future__ import annotations
@@ -18,8 +32,23 @@ from __future__ import annotations
 #: framing overhead charged per container element
 FRAME_BITS = 2
 
+#: recursion ceiling; deeper payloads fall back to a repr-based charge
+MAX_DEPTH = 64
 
-def estimate_bits(payload):
+#: memo for int/str-only tuples, cleared wholesale when full
+_MEMO_MAX = 4096
+_memo = {}
+
+
+def _memo_safe(payload):
+    """True when equality implies an identical estimate (exact int/str)."""
+    for item in payload:
+        if type(item) is not int and type(item) is not str:
+            return False
+    return True
+
+
+def estimate_bits(payload, _depth=0):
     """Structural bit-size estimate of a message payload."""
     if payload is None:
         return 1
@@ -31,12 +60,31 @@ def estimate_bits(payload):
         return 64
     if isinstance(payload, str):
         return 8 * len(payload)
+    if isinstance(payload, tuple) and _memo_safe(payload):
+        cached = _memo.get(payload)
+        if cached is not None:
+            return cached
+        bits = (
+            sum(estimate_bits(item, _depth + 1) + FRAME_BITS for item in payload)
+            + FRAME_BITS
+        )
+        if len(_memo) >= _MEMO_MAX:
+            _memo.clear()
+        _memo[payload] = bits
+        return bits
     if isinstance(payload, (tuple, list, set, frozenset)):
-        return sum(estimate_bits(item) + FRAME_BITS for item in payload) + FRAME_BITS
+        if _depth >= MAX_DEPTH:
+            return 8 * len(repr(payload))
+        return (
+            sum(estimate_bits(item, _depth + 1) + FRAME_BITS for item in payload)
+            + FRAME_BITS
+        )
     if isinstance(payload, dict):
+        if _depth >= MAX_DEPTH:
+            return 8 * len(repr(payload))
         return (
             sum(
-                estimate_bits(k) + estimate_bits(v) + FRAME_BITS
+                estimate_bits(k, _depth + 1) + estimate_bits(v, _depth + 1) + FRAME_BITS
                 for k, v in payload.items()
             )
             + FRAME_BITS

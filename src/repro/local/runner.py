@@ -14,18 +14,91 @@ The *restriction to i rounds* operator (Section 2) is obtained with
 ``max_rounds=i`` together with ``default_output``: nodes that have not
 produced an output by round ``i`` are forced to terminate with the
 default (the paper uses the arbitrary value "0").
+
+Backends
+--------
+Two interchangeable executors implement these semantics:
+
+* ``backend="compiled"`` (default) — the CSR engine of
+  :mod:`repro.local.engine`: flat integer-indexed adjacency, O(active +
+  messages) rounds, lazy per-node random sources (``rng="counter"`` by
+  default).
+* ``backend="reference"`` — the original dict-based loop below, kept
+  verbatim as the executable specification (eager Mersenne-Twister
+  sources, ``rng="mt"`` by default).  It is the oracle the equivalence
+  suite (``tests/test_engine_equivalence.py``) diffs the engine against:
+  under a pinned ``rng`` scheme the two backends produce bit-identical
+  :class:`RunResult` fields.
+
+Select per call (``run(..., backend=..., rng=...)``) or per process
+(:func:`set_default_backend` / :func:`use_backend`, or the
+``REPRO_BACKEND`` / ``REPRO_RNG`` environment variables).
 """
 
 from __future__ import annotations
 
+import os
+from contextlib import contextmanager
+
 from ..errors import NonTerminationError, ParameterError
 from .algorithm import LocalAlgorithm
-from .context import NodeContext, make_rng
+from .context import NodeContext, rng_source
 from .message import Broadcast, normalize_outgoing
 from .msgsize import estimate_bits
 
 #: Cap applied when the caller neither bounds the rounds nor truncates.
 SAFETY_ROUND_CAP = 100_000
+
+_BACKENDS = ("compiled", "reference")
+_RNG_MODES = ("counter", "mt")
+
+#: Process-wide backend default (overridable per call).
+DEFAULT_BACKEND = os.environ.get("REPRO_BACKEND", "compiled")
+#: Process-wide rng-scheme override; ``None`` picks the backend's native
+#: scheme ("counter" for compiled, "mt" for reference).
+DEFAULT_RNG = os.environ.get("REPRO_RNG") or None
+
+
+def set_default_backend(backend):
+    """Set the process-wide runner backend; returns the previous value."""
+    global DEFAULT_BACKEND
+    if backend not in _BACKENDS:
+        raise ParameterError(f"unknown backend {backend!r} (use {_BACKENDS})")
+    previous = DEFAULT_BACKEND
+    DEFAULT_BACKEND = backend
+    return previous
+
+
+@contextmanager
+def use_backend(backend, rng=None):
+    """Temporarily pin the runner backend (and optionally the rng scheme).
+
+    The equivalence suite runs whole pipelines — alternations, virtual
+    domains, portfolios — under each backend with the rng scheme pinned,
+    proving the engines interchangeable end to end.
+    """
+    global DEFAULT_BACKEND, DEFAULT_RNG
+    if rng is not None and rng not in _RNG_MODES:
+        raise ParameterError(f"unknown rng scheme {rng!r} (use {_RNG_MODES})")
+    prev_backend = set_default_backend(backend)
+    prev_rng = DEFAULT_RNG
+    DEFAULT_RNG = rng if rng is not None else prev_rng
+    try:
+        yield
+    finally:
+        DEFAULT_BACKEND = prev_backend
+        DEFAULT_RNG = prev_rng
+
+
+def resolve_backend(backend=None, rng=None):
+    """Resolve (backend, rng_mode) from per-call values and defaults."""
+    backend = backend or DEFAULT_BACKEND
+    if backend not in _BACKENDS:
+        raise ParameterError(f"unknown backend {backend!r} (use {_BACKENDS})")
+    rng = rng or DEFAULT_RNG or ("mt" if backend == "reference" else "counter")
+    if rng not in _RNG_MODES:
+        raise ParameterError(f"unknown rng scheme {rng!r} (use {_RNG_MODES})")
+    return backend, rng
 
 
 class RunResult:
@@ -94,6 +167,8 @@ def run(
     default_output=None,
     truncate=False,
     track_bits=False,
+    backend=None,
+    rng=None,
 ):
     """Execute ``algorithm`` on ``graph`` and return a :class:`RunResult`.
 
@@ -124,6 +199,14 @@ def run(
     track_bits:
         Record the largest payload size observed (Section 6.2's
         message-size instrumentation; small runtime overhead).
+    backend:
+        ``"compiled"`` (CSR engine, default) or ``"reference"`` (the
+        specification loop).  ``None`` uses the process default.
+    rng:
+        Per-node random-source scheme, ``"counter"`` or ``"mt"``;
+        ``None`` uses the backend's native scheme.  Pin it when diffing
+        backends — the schemes produce different (equally valid) random
+        streams.
     """
     if not isinstance(algorithm, LocalAlgorithm):
         raise TypeError(f"expected LocalAlgorithm, got {type(algorithm).__name__}")
@@ -141,7 +224,59 @@ def run(
         cap = SAFETY_ROUND_CAP
     else:
         cap = max_rounds
+    backend, rng_mode = resolve_backend(backend, rng)
+    if backend == "compiled":
+        from .engine import run_compiled
 
+        return run_compiled(
+            graph,
+            algorithm,
+            inputs=inputs,
+            guesses=guesses,
+            seed=seed,
+            salt=salt,
+            cap=cap,
+            truncating=truncating,
+            default_output=default_output,
+            track_bits=track_bits,
+            rng_mode=rng_mode,
+            result_cls=RunResult,
+        )
+    return _run_reference(
+        graph,
+        algorithm,
+        inputs=inputs,
+        guesses=guesses,
+        seed=seed,
+        salt=salt,
+        cap=cap,
+        truncating=truncating,
+        default_output=default_output,
+        track_bits=track_bits,
+        rng_mode=rng_mode,
+    )
+
+
+def _run_reference(
+    graph,
+    algorithm,
+    *,
+    inputs,
+    guesses,
+    seed,
+    salt,
+    cap,
+    truncating,
+    default_output,
+    track_bits,
+    rng_mode,
+):
+    """The specification loop: dict inboxes reallocated every round.
+
+    Kept verbatim from the seed implementation (modulo the pluggable rng
+    scheme) as the oracle for the compiled engine's equivalence suite.
+    """
+    make_gen = rng_source(rng_mode, seed, salt)
     processes = {}
     for u in graph.nodes:
         ctx = NodeContext(
@@ -150,7 +285,8 @@ def run(
             degree=graph.degree(u),
             input=inputs.get(u),
             guesses=guesses,
-            rng=make_rng(seed, salt, graph.ident[u]),
+            rng=make_gen(graph.ident[u]),
+            rng_mode=rng_mode,
         )
         processes[u] = algorithm.make(ctx)
 

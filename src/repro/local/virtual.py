@@ -29,15 +29,27 @@ Restriction semantics: when a run of the wrapped algorithm is truncated
 (the paper's *restriction to i rounds*), hosts that have not committed
 their output dict yet contribute the default output for all their hosted
 virtual nodes — a valid instance of the paper's "arbitrary output".
+
+Host engines: two interchangeable host-process implementations exist,
+mirroring the runner backends.  The *reference* host is the seed's
+dict-driven implementation; the *compiled* host keeps an explicit list of
+undone virtual processes, a done-counter instead of all()-scans, and
+pre-resolved per-port route tables.  Under a pinned rng scheme the two
+are bit-identical (asserted by the equivalence suite).
+
+Incremental restriction: :meth:`VirtualSpec.restricted` produces the spec
+induced on surviving virtual nodes in O(Σ surviving old-degree) by
+filtering the already-computed routing plans — the physical graph is
+unchanged by virtual pruning, so surviving pairs keep their routes and
+nothing is re-derived.  ``VirtualSpec(host, ident, adj, physical)`` (the
+full rebuild) remains the specification path it is tested against.
 """
 
 from __future__ import annotations
 
-import random
-
 from ..errors import InvalidInstanceError
 from .algorithm import LocalAlgorithm, NodeProcess
-from .context import NodeContext
+from .context import NodeContext, sub_rng
 from .message import Broadcast
 
 
@@ -55,6 +67,10 @@ class VirtualSpec:
         ports follow this order).
     dilation:
         Physical rounds per virtual round (1 without relays, else 2).
+    routes:
+        Mapping virtual node -> tuple, one entry per virtual port, of
+        ``(neighbour, reverse_port, plan)`` — the pre-resolved dispatch
+        table the host processes iterate.
     """
 
     __slots__ = (
@@ -67,6 +83,7 @@ class VirtualSpec:
         "forward_plan",
         "recv_port",
         "relay_client_ports",
+        "routes",
     )
 
     def __init__(self, host, ident, adj, physical_graph):
@@ -85,6 +102,7 @@ class VirtualSpec:
             for port, other in enumerate(neighbours):
                 self.recv_port[(other, virt)] = port
         self._build_routes(physical_graph)
+        self._index_routes()
 
     def _build_routes(self, graph):
         port_to = {u: {v: p for p, v, _ in graph.adj[u]} for u in graph.nodes}
@@ -115,7 +133,18 @@ class VirtualSpec:
                             "route of length <= 2"
                         )
                     relay = min(shared, key=lambda r: graph.ident[r])
-                    self.send_plan[(virt, other)] = ("relay", port_to[p][relay])
+                    # Relay plans carry everything restriction needs to
+                    # reconstruct forwarding without re-deriving routes:
+                    # (kind, sender's port to relay, relay node, relay's
+                    # port to the destination host, relay's port back to
+                    # the sending host).
+                    self.send_plan[(virt, other)] = (
+                        "relay",
+                        port_to[p][relay],
+                        relay,
+                        port_to[relay][q],
+                        port_to[relay][p],
+                    )
                     self.forward_plan.setdefault(relay, {})[other] = (
                         port_to[relay][q]
                     )
@@ -128,13 +157,80 @@ class VirtualSpec:
             ports = {port_to[relay][p] for p in clients}
             self.relay_client_ports[relay] = frozenset(ports)
 
+    def _index_routes(self):
+        recv_port = self.recv_port
+        send_plan = self.send_plan
+        self.routes = {
+            virt: tuple(
+                (other, recv_port[(virt, other)], send_plan[(virt, other)])
+                for other in neighbours
+            )
+            for virt, neighbours in self.adj.items()
+        }
+
+    def restricted(self, keep):
+        """Spec induced on the surviving virtual nodes (incremental).
+
+        The physical graph is untouched by virtual pruning, so surviving
+        pairs keep the routing plans they already have; only the virtual
+        port numbering and the relay bookkeeping are re-derived, in
+        O(Σ surviving old-degree).  Produces the same spec as a full
+        ``VirtualSpec(host', ident', adj', physical)`` rebuild.
+        """
+        keep = keep if isinstance(keep, frozenset) else frozenset(keep)
+        spec = object.__new__(VirtualSpec)
+        spec.adj = {
+            v: tuple(w for w in neighbours if w in keep)
+            for v, neighbours in self.adj.items()
+            if v in keep
+        }
+        spec.host = {v: self.host[v] for v in spec.adj}
+        spec.ident = {v: self.ident[v] for v in spec.adj}
+        spec.hosted = {}
+        for p, virts in self.hosted.items():
+            survivors = [v for v in virts if v in keep]
+            if survivors:
+                spec.hosted[p] = survivors
+        spec.recv_port = {}
+        for virt, neighbours in spec.adj.items():
+            for port, other in enumerate(neighbours):
+                spec.recv_port[(other, virt)] = port
+        send_plan = {}
+        forward_plan = {}
+        relay_client_ports = {}
+        needs_relay = False
+        old_plan = self.send_plan
+        for virt, neighbours in spec.adj.items():
+            for other in neighbours:
+                plan = old_plan[(virt, other)]
+                send_plan[(virt, other)] = plan
+                if plan[0] == "relay":
+                    needs_relay = True
+                    relay = plan[2]
+                    forward_plan.setdefault(relay, {})[other] = plan[3]
+                    relay_client_ports.setdefault(relay, set()).add(plan[4])
+        spec.send_plan = send_plan
+        spec.forward_plan = forward_plan
+        spec.dilation = 2 if needs_relay else 1
+        spec.relay_client_ports = {
+            relay: frozenset(ports)
+            for relay, ports in relay_client_ports.items()
+        }
+        spec._index_routes()
+        return spec
+
     @property
     def virtual_nodes(self):
         return tuple(self.adj.keys())
 
 
 class _VirtualHostProcess(NodeProcess):
-    """Physical-node process simulating all hosted virtual processes."""
+    """Physical-node process simulating all hosted virtual processes.
+
+    The reference host engine — dict-driven, kept as the seed wrote it
+    (modulo the pluggable rng scheme) to serve as the specification for
+    :class:`_CompiledHostProcess`.
+    """
 
     __slots__ = (
         "spec",
@@ -155,6 +251,7 @@ class _VirtualHostProcess(NodeProcess):
         self.algorithm = algorithm
         self.virt_inputs = virt_inputs
         base = ctx.rng.getrandbits(64)
+        mode = ctx.rng_mode
         self.subs = {}
         self.outputs = {}
         self.virt_round_inbox = {}
@@ -169,7 +266,8 @@ class _VirtualHostProcess(NodeProcess):
                 degree=len(spec.adj[virt]),
                 input=virt_inputs.get(virt),
                 guesses=ctx.guesses,
-                rng=random.Random(f"{base}|virt|{spec.ident[virt]}"),
+                rng=sub_rng(mode, base, spec.ident[virt]),
+                rng_mode=mode,
             )
             self.subs[virt] = self.algorithm.make(sub_ctx)
 
@@ -277,17 +375,219 @@ class _VirtualHostProcess(NodeProcess):
         return self._emit(sends, fin)
 
 
-def virtualize(spec, algorithm, *, virt_inputs=None, name=None):
+class _CompiledHostProcess(NodeProcess):
+    """Compiled host engine: same protocol, O(undone + traffic) rounds.
+
+    Bit-identical to :class:`_VirtualHostProcess` under a pinned rng
+    scheme (equivalence suite), but:
+
+    * hosted virtual processes that finished leave the ``pending`` list,
+      so a round costs O(undone), not O(hosted);
+    * ``undone`` is a counter — no all()-scan over sub-processes at every
+      decision point;
+    * dispatch walks the spec's pre-resolved ``routes`` table: one tuple
+      unpack per virtual payload instead of three dict lookups.
+    """
+
+    __slots__ = (
+        "spec",
+        "outputs",
+        "subs",
+        "pending",
+        "undone",
+        "phase",
+        "virt_round_inbox",
+        "announced",
+        "announced_ports",
+        "client_ports",
+        "forward_table",
+        "relay_only_parity",
+    )
+
+    def __init__(self, ctx, spec, algorithm, virt_inputs):
+        super().__init__(ctx)
+        self.spec = spec
+        base = ctx.rng.getrandbits(64)
+        mode = ctx.rng_mode
+        self.outputs = {}
+        self.virt_round_inbox = {}
+        self.phase = 0
+        self.announced = False
+        self.announced_ports = set()
+        self.client_ports = spec.relay_client_ports.get(ctx.node, frozenset())
+        self.forward_table = spec.forward_plan.get(ctx.node, {})
+        self.relay_only_parity = spec.dilation == 2
+        make = algorithm.make
+        get_input = virt_inputs.get
+        ident_of = spec.ident
+        adj = spec.adj
+        guesses = ctx.guesses
+        factory = lambda ident: sub_rng(mode, base, ident)
+        pending = []
+        subs = {}
+        for virt in spec.hosted.get(ctx.node, ()):
+            sub = make(
+                NodeContext(
+                    virt,
+                    ident_of[virt],
+                    len(adj[virt]),
+                    get_input(virt),
+                    guesses,
+                    None,
+                    factory,
+                    mode,
+                )
+            )
+            subs[virt] = sub
+            pending.append((virt, sub))
+        self.subs = subs
+        self.pending = pending
+        self.undone = len(pending)
+
+    # -- virtual round plumbing -----------------------------------------
+    def _advance(self, starting, sends):
+        # Same buffer swap as the reference host: internal messages land
+        # in the *next* virtual round's inbox.
+        current = self.virt_round_inbox
+        self.virt_round_inbox = {}
+        routes = self.spec.routes
+        inbox_get = current.get
+        survivors = []
+        keep = survivors.append
+        for virt, sub in self.pending:
+            outgoing = sub.start() if starting else sub.receive(inbox_get(virt, {}))
+            if outgoing is not None:
+                route = routes[virt]
+                if isinstance(outgoing, Broadcast):
+                    # Bind under a name the consuming loop never rebinds:
+                    # the generator reads it lazily at each yield.
+                    bp = outgoing.payload
+                    items = (
+                        (entry, bp) for entry in route
+                    )
+                else:
+                    items = (
+                        (route[vport], payload)
+                        for vport, payload in outgoing.items()
+                    )
+                for (other, rport, plan), payload in items:
+                    kind = plan[0]
+                    if kind == "internal":
+                        box = self.virt_round_inbox.get(other)
+                        if box is None:
+                            box = self.virt_round_inbox[other] = {}
+                        box[rport] = payload
+                    elif kind == "direct":
+                        bucket = sends.get(plan[1])
+                        if bucket is None:
+                            bucket = sends[plan[1]] = []
+                        bucket.append(("dlv", other, rport, payload))
+                    else:
+                        bucket = sends.get(plan[1])
+                        if bucket is None:
+                            bucket = sends[plan[1]] = []
+                        bucket.append(("rly", other, rport, payload))
+            if sub.done:
+                self.outputs[virt] = sub.result
+                self.undone -= 1
+            else:
+                keep((virt, sub))
+        self.pending = survivors
+
+    def _absorb(self, inbox, sends):
+        table = self.forward_table
+        inbox_acc = self.virt_round_inbox
+        for port, message in inbox.items():
+            if not (isinstance(message, tuple) and message and message[0] == "vmsg"):
+                continue
+            _, payloads, fin = message
+            if fin:
+                self.announced_ports.add(port)
+            for kind, virt, rport, payload in payloads:
+                if kind == "dlv":
+                    box = inbox_acc.get(virt)
+                    if box is None:
+                        box = inbox_acc[virt] = {}
+                    box[rport] = payload
+                else:
+                    out_port = table[virt]
+                    bucket = sends.get(out_port)
+                    if bucket is None:
+                        bucket = sends[out_port] = []
+                    bucket.append(("dlv", virt, rport, payload))
+
+    def _emit(self, sends, fin):
+        if fin:
+            get = sends.get
+            return {
+                port: ("vmsg", tuple(get(port, ())), True)
+                for port in range(self.ctx.degree)
+            }
+        if not sends:
+            return None
+        return {
+            port: ("vmsg", tuple(payloads), False)
+            for port, payloads in sends.items()
+        }
+
+    def _maybe_finish(self):
+        if self.undone == 0 and self.client_ports <= self.announced_ports:
+            self.finish(dict(self.outputs))
+
+    # -- NodeProcess API --------------------------------------------------
+    def start(self):
+        sends = {}
+        fin = False
+        if self.subs:
+            self._advance(starting=True, sends=sends)
+        if self.undone == 0 and not self.announced:
+            self.announced = True
+            fin = True
+        self._maybe_finish()
+        return self._emit(sends, fin)
+
+    def receive(self, inbox):
+        sends = {}
+        self._absorb(inbox, sends)
+        self.phase += 1
+        relay_only = self.relay_only_parity and self.phase % 2 == 1
+        if not relay_only and self.undone:
+            self._advance(starting=False, sends=sends)
+        fin = False
+        if self.undone == 0 and not self.announced:
+            self.announced = True
+            fin = True
+        self._maybe_finish()
+        return self._emit(sends, fin)
+
+
+def virtualize(spec, algorithm, *, virt_inputs=None, name=None, engine=None):
     """Wrap ``algorithm`` (for the derived graph) as a physical algorithm.
 
     The wrapped algorithm's output at a physical node is the dict
     ``virtual node -> output``; use :func:`flatten_outputs` to merge the
     per-host dicts into a single mapping over virtual nodes.
+
+    ``engine`` selects the host-process implementation (``"compiled"`` or
+    ``"reference"``); ``None`` follows the process-wide runner backend at
+    process-construction time, so domain runs stay internally consistent.
     """
     virt_inputs = virt_inputs or {}
+
+    def process(ctx):
+        kind = engine
+        if kind is None:
+            from .runner import DEFAULT_BACKEND
+
+            kind = DEFAULT_BACKEND
+        host_cls = (
+            _VirtualHostProcess if kind == "reference" else _CompiledHostProcess
+        )
+        return host_cls(ctx, spec, algorithm, virt_inputs)
+
     return LocalAlgorithm(
         name=name or f"virtual[{algorithm.name}]",
-        process=lambda ctx: _VirtualHostProcess(ctx, spec, algorithm, virt_inputs),
+        process=process,
         requires=algorithm.requires,
         randomized=algorithm.randomized,
     )

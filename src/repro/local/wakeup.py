@@ -24,9 +24,9 @@ from __future__ import annotations
 
 from ..errors import NonTerminationError, ParameterError
 from .algorithm import LocalAlgorithm
-from .context import NodeContext, make_rng
+from .context import NodeContext, rng_source
 from .message import Broadcast, normalize_outgoing
-from .runner import SAFETY_ROUND_CAP, RunResult
+from .runner import SAFETY_ROUND_CAP, RunResult, resolve_backend
 
 
 def run_with_wakeup(
@@ -39,6 +39,7 @@ def run_with_wakeup(
     seed=0,
     salt=0,
     max_ticks=None,
+    rng=None,
 ):
     """Run ``algorithm`` under a wake-up pattern with the α synchronizer.
 
@@ -46,6 +47,11 @@ def run_with_wakeup(
     ----------
     wake:
         Mapping node -> global wake-up tick (non-negative int).
+    rng:
+        Per-node random-source scheme (``"counter"`` or ``"mt"``);
+        ``None`` resolves exactly like :func:`repro.local.runner.run`'s
+        default, so an all-zero wake pattern reproduces the synchronous
+        run bit for bit — including for randomized algorithms.
 
     Returns a :class:`~repro.local.runner.RunResult` whose
     ``finish_round`` records *global* finish ticks; use
@@ -65,6 +71,8 @@ def run_with_wakeup(
     if any(t < 0 for t in wake.values()):
         raise ParameterError("wake-up times must be non-negative")
     cap = SAFETY_ROUND_CAP if max_ticks is None else max_ticks
+    _, rng_mode = resolve_backend(None, rng)
+    make_gen = rng_source(rng_mode, seed, salt)
 
     processes = {}
     for u in graph.nodes:
@@ -74,7 +82,8 @@ def run_with_wakeup(
             degree=graph.degree(u),
             input=inputs.get(u),
             guesses=guesses,
-            rng=make_rng(seed, salt, graph.ident[u]),
+            rng=make_gen(graph.ident[u]),
+            rng_mode=rng_mode,
         )
         processes[u] = algorithm.make(ctx)
 

@@ -8,6 +8,7 @@ utilities needed by Linial-style set-system constructions.
 from __future__ import annotations
 
 import math
+from functools import lru_cache
 
 
 def ceil_log2(x):
@@ -75,6 +76,7 @@ def is_prime(q):
     return True
 
 
+@lru_cache(maxsize=4096)
 def next_prime(x):
     """Smallest prime ≥ x (Bertrand guarantees quick termination)."""
     q = max(2, int(math.ceil(x)))
@@ -88,11 +90,14 @@ def int_ceil_div(a, b):
     return -(-a // b)
 
 
+@lru_cache(maxsize=16384)
 def int_nthroot_floor(value, k):
     """⌊value^(1/k)⌋ by integer Newton iteration (exact, any size).
 
     Needed because guesses coming from set-sequence inversions can reach
-    2^96 and beyond, far outside float precision.
+    2^96 and beyond, far outside float precision.  Memoized: Linial
+    schedules and KW reducers probe the same (value, k) pairs at every
+    node of a run.
     """
     if value <= 0:
         return 0

@@ -1,0 +1,356 @@
+"""Cross-backend equivalence suite (DESIGN.md, backend contract).
+
+Proves the compiled engine and the reference loop are interchangeable:
+bit-identical :class:`RunResult` fields under a pinned rng scheme on
+every workload family, for truncated and self-terminating runs, for
+targeted-message algorithms, with message-size tracking, through whole
+alternation pipelines, and on virtual (line-graph) domains.  Also pins
+the incremental restriction paths against their rebuild specifications.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import TABLE1
+from repro.algorithms.luby import luby_mis
+from repro.bench import WORKLOADS, build_graph
+from repro.core.domain import PhysicalDomain, VirtualDomain
+from repro.errors import NonTerminationError
+from repro.graphs import clique_product_spec, line_graph_spec
+from repro.local import (
+    Broadcast,
+    LocalAlgorithm,
+    NodeProcess,
+    run,
+    run_restricted,
+    use_backend,
+)
+from repro.problems import MIS
+
+BACKENDS = ("reference", "compiled")
+RNGS = ("mt", "counter")
+
+RESULT_FIELDS = (
+    "outputs",
+    "finish_round",
+    "rounds",
+    "messages",
+    "truncated",
+    "max_message_bits",
+)
+
+
+def assert_results_equal(a, b, context=""):
+    for field in RESULT_FIELDS:
+        assert getattr(a, field) == getattr(b, field), (field, context)
+
+
+def run_both(graph, algorithm, rng, **kwargs):
+    ref = run(graph, algorithm, backend="reference", rng=rng, **kwargs)
+    cmp_ = run(graph, algorithm, backend="compiled", rng=rng, **kwargs)
+    return ref, cmp_
+
+
+class PingPong(NodeProcess):
+    """Targeted-message algorithm: exercises the dict delivery path."""
+
+    def __init__(self, ctx):
+        super().__init__(ctx)
+        self.rounds_left = 3
+        self.heard = 0
+
+    def start(self):
+        if self.ctx.degree == 0:
+            self.finish(0)
+            return None
+        # Message only the even ports, with port-dependent payloads.
+        return {p: ("ping", self.ctx.ident, p) for p in range(0, self.ctx.degree, 2)}
+
+    def receive(self, inbox):
+        self.heard += len(inbox)
+        self.rounds_left -= 1
+        if self.rounds_left == 0:
+            self.finish(self.heard)
+            return None
+        return {p: ("ping", self.heard) for p in range(0, self.ctx.degree, 2)}
+
+
+def ping_pong():
+    return LocalAlgorithm("ping-pong", PingPong)
+
+
+class TestRunEquivalence:
+    @pytest.mark.parametrize("workload", sorted(WORKLOADS))
+    @pytest.mark.parametrize("rng", RNGS)
+    def test_luby_all_workloads(self, workload, rng):
+        graph = build_graph(WORKLOADS[workload](48, seed=3), seed=4)
+        ref, cmp_ = run_both(graph, luby_mis(), rng, seed=11)
+        assert_results_equal(ref, cmp_, context=(workload, rng))
+        assert MIS.is_solution(graph, {}, cmp_.outputs)
+
+    @pytest.mark.parametrize("seed", (0, 1, 2))
+    def test_seed_sweep(self, small_gnp, seed):
+        for rng in RNGS:
+            ref, cmp_ = run_both(small_gnp, luby_mis(), rng, seed=seed)
+            assert_results_equal(ref, cmp_, context=(seed, rng))
+
+    @pytest.mark.parametrize("workload", sorted(WORKLOADS))
+    @pytest.mark.parametrize("rng", RNGS)
+    def test_truncated_run(self, workload, rng):
+        graph = build_graph(WORKLOADS[workload](48, seed=3), seed=4)
+        ref = run_restricted(
+            graph, luby_mis(), 2, default_output="cut",
+            backend="reference", rng=rng,
+        )
+        cmp_ = run_restricted(
+            graph, luby_mis(), 2, default_output="cut",
+            backend="compiled", rng=rng,
+        )
+        assert_results_equal(ref, cmp_, context=(workload, rng))
+
+    def test_truncation_bites(self, small_gnp):
+        ref = run_restricted(
+            small_gnp, luby_mis(), 2, default_output="cut",
+            backend="reference", rng="counter",
+        )
+        cmp_ = run_restricted(
+            small_gnp, luby_mis(), 2, default_output="cut",
+            backend="compiled", rng="counter",
+        )
+        assert_results_equal(ref, cmp_)
+        assert ref.truncated  # the restriction actually bit
+
+    def test_targeted_messages(self, small_gnp):
+        ref, cmp_ = run_both(small_gnp, ping_pong(), "counter", seed=5)
+        assert_results_equal(ref, cmp_)
+        assert cmp_.messages > 0
+
+    def test_track_bits(self, small_gnp):
+        ref, cmp_ = run_both(
+            small_gnp, luby_mis(), "counter", seed=7, track_bits=True
+        )
+        assert_results_equal(ref, cmp_)
+        assert cmp_.max_message_bits is not None
+        assert cmp_.max_message_bits > 0
+
+    def test_empty_graph(self):
+        import networkx as nx
+
+        from repro.local import SimGraph
+
+        graph = SimGraph.from_networkx(nx.empty_graph(0))
+        ref, cmp_ = run_both(graph, luby_mis(), "counter")
+        assert_results_equal(ref, cmp_)
+
+    def test_nontermination_parity(self, path12):
+        class Forever(NodeProcess):
+            def start(self):
+                return Broadcast("x")
+
+            def receive(self, inbox):
+                return Broadcast("x")
+
+        algo = LocalAlgorithm("forever", Forever)
+        errors = {}
+        for backend in BACKENDS:
+            with pytest.raises(NonTerminationError) as excinfo:
+                run(path12, algo, max_rounds=4, backend=backend)
+            errors[backend] = excinfo.value
+        assert str(errors["reference"]) == str(errors["compiled"])
+
+    def test_bad_port_parity(self, path12):
+        class BadPort(NodeProcess):
+            def start(self):
+                return {99: "boom"}
+
+            def receive(self, inbox):
+                return None
+
+        algo = LocalAlgorithm("bad", BadPort)
+        messages = {}
+        for backend in BACKENDS:
+            with pytest.raises(ValueError) as excinfo:
+                run(path12, algo, backend=backend)
+            messages[backend] = str(excinfo.value)
+        assert messages["reference"] == messages["compiled"]
+
+
+class TestPipelineEquivalence:
+    @pytest.mark.parametrize("row", ("mis-nonly", "luby"))
+    def test_uniform_rows(self, small_gnp, row):
+        results = {}
+        for backend in BACKENDS:
+            with use_backend(backend, rng="counter"):
+                _, _, uniform = TABLE1[row].build()
+                results[backend] = uniform.run(small_gnp, seed=13)
+        ref, cmp_ = results["reference"], results["compiled"]
+        assert ref.outputs == cmp_.outputs
+        assert ref.rounds == cmp_.rounds
+        assert len(ref.steps) == len(cmp_.steps)
+
+    def test_matching_row_on_line_graph(self, small_gnp):
+        """Virtual-domain (line-graph) alternation, both backends."""
+        results = {}
+        for backend in BACKENDS:
+            with use_backend(backend, rng="counter"):
+                _, _, uniform = TABLE1["matching"].build()
+                results[backend] = uniform.run(small_gnp, seed=17)
+        ref, cmp_ = results["reference"], results["compiled"]
+        assert ref.outputs == cmp_.outputs
+        assert ref.rounds == cmp_.rounds
+
+
+class TestVirtualDomainEquivalence:
+    @pytest.mark.parametrize("rng", RNGS)
+    def test_line_graph_restricted_run(self, small_gnp, rng):
+        spec = line_graph_spec(small_gnp)
+        outputs = {}
+        for backend in BACKENDS:
+            domain = VirtualDomain(small_gnp, spec)
+            outputs[backend] = domain.run_restricted(
+                luby_mis(), 24, seed=19, backend=backend, rng=rng
+            )
+        assert outputs["reference"] == outputs["compiled"]
+
+    def test_clique_product_full_run(self, small_gnp):
+        spec = clique_product_spec(small_gnp)
+        outputs = {}
+        for backend in BACKENDS:
+            domain = VirtualDomain(small_gnp, spec)
+            outputs[backend] = domain.run_full(
+                luby_mis(), seed=23, backend=backend, rng="counter"
+            )
+        assert outputs["reference"] == outputs["compiled"]
+
+
+def spec_signature(spec):
+    return (
+        spec.host,
+        spec.ident,
+        spec.adj,
+        spec.dilation,
+        spec.send_plan,
+        spec.forward_plan,
+        spec.relay_client_ports,
+        spec.routes,
+    )
+
+
+class TestIncrementalRestriction:
+    def test_subgraph_matches_rebuild(self, medium_gnp):
+        keep = set(list(medium_gnp.nodes)[::3]) | {medium_gnp.nodes[1]}
+        inc = medium_gnp.subgraph(keep)
+        ref = medium_gnp.subgraph_rebuild(keep)
+        assert inc.nodes == ref.nodes
+        assert inc.ident == ref.ident
+        assert inc.adj == ref.adj
+
+    def test_chained_restriction(self, medium_gnp):
+        inc = medium_gnp
+        ref = medium_gnp
+        for step, stride in enumerate((2, 3, 2)):
+            keep = set(list(inc.nodes)[::stride])
+            inc = inc.subgraph(keep)
+            ref = ref.subgraph_rebuild(keep)
+            assert inc.nodes == ref.nodes, step
+            assert inc.adj == ref.adj, step
+
+    def test_csr_restrict_attaches_child_view(self, medium_gnp):
+        keep = frozenset(list(medium_gnp.nodes)[::2])
+        csr = medium_gnp.subgraph(keep)
+        assert csr._compiled is not None  # child inherits a ready CSR
+        assert csr._compiled.graph is csr
+        again = medium_gnp.subgraph(keep)  # parent CSR now cached
+        assert again.nodes == csr.nodes
+        assert again.adj == csr.adj
+
+    def test_full_keep_returns_self(self, small_gnp):
+        assert small_gnp.subgraph(set(small_gnp.nodes)) is small_gnp
+
+    def test_subgraph_rejects_unknown(self, small_gnp):
+        from repro.errors import InvalidInstanceError
+
+        with pytest.raises(InvalidInstanceError):
+            small_gnp.subgraph({"nope"})
+
+    def test_virtual_spec_restricted_matches_rebuild(self, small_gnp):
+        from repro.local.virtual import VirtualSpec
+
+        spec = line_graph_spec(small_gnp)
+        keep = set(list(spec.virtual_nodes)[::2])
+        inc = spec.restricted(keep)
+        adj = {
+            v: [w for w in spec.adj[v] if w in keep]
+            for v in spec.virtual_nodes
+            if v in keep
+        }
+        rebuilt = VirtualSpec(
+            {v: spec.host[v] for v in adj},
+            {v: spec.ident[v] for v in adj},
+            adj,
+            small_gnp,
+        )
+        assert spec_signature(inc) == spec_signature(rebuilt)
+
+    def test_virtual_chained_restriction(self, small_gnp):
+        spec = clique_product_spec(small_gnp)
+        domain = VirtualDomain(small_gnp, spec)
+        for stride in (2, 3):
+            keep = set(list(domain.nodes)[::stride])
+            domain = domain.subgraph(keep)
+            assert set(domain.nodes) == keep
+            # ports renumbered consistently: every neighbour pair symmetric
+            for v in domain.nodes:
+                for w in domain.neighbors(v):
+                    assert v in domain.neighbors(w)
+
+    def test_restricted_run_equivalence(self, small_gnp):
+        """Runs on a restricted virtual domain agree across backends."""
+        spec = line_graph_spec(small_gnp)
+        keep = set(list(spec.virtual_nodes)[::2])
+        outputs = {}
+        for backend in BACKENDS:
+            domain = VirtualDomain(small_gnp, spec)
+            with use_backend(backend, rng="counter"):
+                sub = domain.subgraph(keep)
+                outputs[backend] = sub.run_restricted(luby_mis(), 24, seed=29)
+        assert outputs["reference"] == outputs["compiled"]
+
+
+class TestCounterRNG:
+    def test_deterministic_and_independent(self):
+        from repro.local import CounterRNG
+        from repro.local.context import rng_source
+
+        source = rng_source("counter", 1, "salt")
+        a1 = source(101)
+        a2 = source(101)
+        b = source(102)
+        seq1 = [a1.getrandbits(62) for _ in range(8)]
+        seq2 = [a2.getrandbits(62) for _ in range(8)]
+        seq3 = [b.getrandbits(62) for _ in range(8)]
+        assert seq1 == seq2
+        assert seq1 != seq3
+        rng = CounterRNG(7)
+        assert 0.0 <= rng.random() < 1.0
+        values = {rng.randrange(10) for _ in range(200)}
+        assert values == set(range(10))
+        with pytest.raises(ValueError):
+            rng.getrandbits(0)
+
+    def test_lazy_materialization(self):
+        from repro.local import NodeContext
+
+        calls = []
+
+        def factory(ident):
+            calls.append(ident)
+            return object()
+
+        ctx = NodeContext(0, 42, 3, None, {}, rng_factory=factory)
+        assert not calls
+        first = ctx.rng
+        assert calls == [42]
+        assert ctx.rng is first
+        assert calls == [42]
