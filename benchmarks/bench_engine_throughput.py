@@ -1,19 +1,28 @@
-"""Engine throughput tracker: compiled CSR engine vs reference loop.
+"""Engine throughput tracker: reference loop vs per-node CSR vs batch.
 
-Measures the two runner backends (DESIGN.md, backend contract) on the
-workloads the reproduction actually runs — Table-1 MIS and matching
-uniform transforms, plain Luby runs, the cross-family workload sweep,
-incremental vs rebuild restriction — and records rounds/sec,
-messages/sec and subgraph ops/sec per backend plus the compiled/reference
-speedup into ``benchmarks/BENCH_engine.json``.
+Measures the three execution strategies (DESIGN.md, backend contract +
+D10 batch-step contract) on the workloads the reproduction actually
+runs — Table-1 MIS and matching uniform transforms, plain Luby runs,
+the cross-family workload sweep, incremental vs rebuild restriction,
+and the matching-heavy dense line-graph substrate — and records
+rounds/sec, messages/sec and the pairwise speedups into
+``benchmarks/BENCH_engine.json``:
+
+* ``reference`` — the seed-faithful specification stack;
+* ``compiled`` — the CSR engine stepping per node (batch disabled);
+* ``batch`` — the CSR engine with the batched frontier-step kernels.
+
+``speedup`` is reference/compiled (the PR-1 metric), ``speedup_batch``
+reference/batch, and ``batch_gain`` compiled/batch — the lever this
+file exists to track for the per-virtual-node-bound workloads.
 
 Usage
 -----
 ``python benchmarks/bench_engine_throughput.py``            full suite, print table
 ``python benchmarks/bench_engine_throughput.py --update``   full suite, rewrite BENCH_engine.json
-``python benchmarks/bench_engine_throughput.py --smoke``    quick subset; exit 1 if the
-    compiled backend's speedup regressed >20% against the committed
-    baseline, exit 2 if the backends stopped being bit-identical
+``python benchmarks/bench_engine_throughput.py --smoke``    quick subset; exit 1 if any
+    recorded speedup regressed >20% against the committed baseline,
+    exit 2 if the three strategies stopped being bit-identical
 
 The smoke gate compares *speedups* (a machine-relative quantity), not
 absolute times, so it is stable across runner hardware.
@@ -26,24 +35,45 @@ import json
 import platform
 import sys
 import time
+from contextlib import ExitStack
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
 from repro.algorithms import TABLE1  # noqa: E402
+from repro.algorithms.fast_coloring import fast_coloring_rounds  # noqa: E402
+from repro.algorithms.fast_mis import fast_mis  # noqa: E402
 from repro.algorithms.luby import luby_mis  # noqa: E402
 from repro.bench import WORKLOADS, build_graph  # noqa: E402
 from repro.core.domain import VirtualDomain  # noqa: E402
 from repro.graphs import line_graph_spec  # noqa: E402
-from repro.local import run, use_backend  # noqa: E402
+from repro.local import run, use_backend, use_batch  # noqa: E402
 
 BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_engine.json"
 
-#: A smoke run fails when compiled/reference speedup drops below this
-#: fraction of the committed baseline's speedup.
+#: A smoke run fails when a recorded speedup drops below this fraction
+#: of the committed baseline's value.
 REGRESSION_TOLERANCE = 0.80
 
-BACKENDS = ("reference", "compiled")
+BACKENDS = ("reference", "compiled", "batch")
+
+#: Speedup ratios recorded per unit (numerator strategy / denominator).
+RATIOS = (
+    ("speedup", "reference", "compiled"),
+    ("speedup_batch", "reference", "batch"),
+    ("batch_gain", "compiled", "batch"),
+)
+
+
+def _backend_context(backend):
+    """Context stack pinning one of the three execution strategies."""
+    stack = ExitStack()
+    if backend == "reference":
+        stack.enter_context(use_backend("reference"))
+    else:
+        stack.enter_context(use_backend("compiled"))
+        stack.enter_context(use_batch(backend == "batch"))
+    return stack
 
 
 def _best(fn, reps):
@@ -57,13 +87,14 @@ def _best(fn, reps):
     return best
 
 
-def _per_backend(make_fn, reps):
-    """Time ``make_fn(backend)()`` under each backend; return stats dict."""
+def _per_backend(make_fn, reps, backends=BACKENDS, warm=True):
+    """Time ``make_fn(backend)()`` under each strategy; return stats."""
     out = {}
-    for backend in BACKENDS:
-        with use_backend(backend):
+    for backend in backends:
+        with _backend_context(backend):
             fn, meta = make_fn(backend)
-            fn()  # warm caches (CSR compile, schedule memos)
+            if warm:
+                fn()  # warm caches (CSR compile, schedule memos)
             seconds = _best(fn, reps)
         entry = {"seconds": round(seconds, 6)}
         entry.update(meta())
@@ -74,9 +105,11 @@ def _per_backend(make_fn, reps):
                 entry["messages"] / entry["seconds"], 1
             )
         out[backend] = entry
-    out["speedup"] = round(
-        out["reference"]["seconds"] / out["compiled"]["seconds"], 2
-    )
+    for name, top, bottom in RATIOS:
+        if top in out and bottom in out:
+            out[name] = round(
+                out[top]["seconds"] / out[bottom]["seconds"], 2
+            )
     return out
 
 
@@ -156,9 +189,9 @@ def unit_workload_sweep(n, reps):
 def unit_subgraph_cascade(n, reps):
     """Alternation-style restriction cascade: keep 85% per step.
 
-    The reference backend takes the rebuild path, the compiled backend
-    the incremental CSR path (both produce identical graphs — the
-    equivalence suite asserts it); ``ops`` counts restriction steps.
+    The reference backend takes the rebuild path, the compiled/batch
+    backends the incremental CSR path (both produce identical graphs —
+    the equivalence suite asserts it); ``ops`` counts restriction steps.
     """
     base = build_graph(WORKLOADS["gnp-sparse"](n, seed=4), seed=4)
 
@@ -179,8 +212,8 @@ def unit_subgraph_cascade(n, reps):
 
     out = _per_backend(make, reps)
     for backend in BACKENDS:
-        entry = out[backend]
-        if entry.get("ops"):
+        entry = out.get(backend)
+        if entry and entry.get("ops"):
             entry["ops_per_sec"] = round(entry["ops"] / entry["seconds"], 1)
     return out
 
@@ -205,22 +238,71 @@ def unit_virtual_linegraph(n, reps):
     return _per_backend(make, reps)
 
 
+def unit_matching_dense(n, reps):
+    """Matching-heavy scenario: fast MIS over a *dense* line graph.
+
+    Denser gnp (average degree ~24) and larger n than the Table-1 unit,
+    so the per-virtual-node algorithm floor the batch kernels remove is
+    unmistakable.  One full-budget restricted run of the matching row's
+    inner engine; the reference column is omitted (the seed stack needs
+    minutes here) — ``batch_gain`` is the tracked number.
+    """
+    graph = build_graph(WORKLOADS["gnp-dense"](n, seed=6), seed=6)
+    spec = line_graph_spec(graph)
+    guesses = {
+        "Delta": max(1, 2 * graph.max_degree - 2),
+        "m": (graph.max_ident + 2) ** 2,
+    }
+    budget = (
+        fast_coloring_rounds(guesses["m"], guesses["Delta"])
+        + guesses["Delta"]
+        + 2
+    )
+
+    def make(backend):
+        state = {}
+
+        def fn():
+            domain = VirtualDomain(graph, spec)
+            outputs, charged = domain.run_restricted(
+                fast_mis(), budget, seed=9, guesses=guesses
+            )
+            state["rounds"] = charged
+            state["virtual_nodes"] = len(outputs)
+            state["in_set"] = sum(1 for v in outputs.values() if v == 1)
+
+        return fn, lambda: dict(state)
+
+    return _per_backend(
+        make, reps, backends=("compiled", "batch"), warm=False
+    )
+
+
 def check_bit_identity(n=120):
-    """Quick cross-backend identity check (smoke safety net)."""
+    """Quick three-way identity check (smoke safety net)."""
     graph = build_graph(WORKLOADS["gnp-sparse"](n, seed=8), seed=8)
+    guesses = {"m": graph.max_ident, "Delta": graph.max_degree}
+    jobs = (
+        (luby_mis(), None),
+        (fast_mis(), guesses),
+    )
     for rng in ("counter", "mt"):
-        results = [
-            run(graph, luby_mis(), seed=3, backend=backend, rng=rng)
-            for backend in BACKENDS
-        ]
-        ref, cmp_ = results
-        if (
-            ref.outputs != cmp_.outputs
-            or ref.rounds != cmp_.rounds
-            or ref.messages != cmp_.messages
-            or ref.finish_round != cmp_.finish_round
-        ):
-            return False
+        for algo, g in jobs:
+            results = []
+            for backend in BACKENDS:
+                with _backend_context(backend):
+                    results.append(
+                        run(graph, algo, seed=3, guesses=g, rng=rng)
+                    )
+            first = results[0]
+            for other in results[1:]:
+                if (
+                    first.outputs != other.outputs
+                    or first.rounds != other.rounds
+                    or first.messages != other.messages
+                    or first.finish_round != other.finish_round
+                ):
+                    return False
     return True
 
 
@@ -230,6 +312,7 @@ def full_suite():
         "table1-luby-n2000": unit_plain_luby(2000, (1, 2, 3, 4, 5), reps=3),
         "table1-luby-wrap-n2000": unit_table1_row("luby", 2000, (1,), reps=3),
         "table1-matching-n2000": unit_table1_row("matching", 2000, (1,), reps=1),
+        "matching-dense-n1800": unit_matching_dense(1800, reps=1),
         "workload-sweep-n600": unit_workload_sweep(600, reps=3),
         "subgraph-cascade-n2000": unit_subgraph_cascade(2000, reps=3),
         "virtual-linegraph-n400": unit_virtual_linegraph(400, reps=3),
@@ -245,6 +328,7 @@ SMOKE_UNITS = {
     "smoke-mis": lambda: unit_table1_row("mis-nonly", SMOKE_N, (1,), reps=SMOKE_REPS),
     "smoke-luby": lambda: unit_plain_luby(SMOKE_N, (1, 2), reps=SMOKE_REPS),
     "smoke-subgraph": lambda: unit_subgraph_cascade(SMOKE_N, reps=SMOKE_REPS),
+    "smoke-matching": lambda: unit_table1_row("matching", 300, (1,), reps=2),
 }
 
 
@@ -255,14 +339,24 @@ def smoke_suite(only=None):
 
 def render(units):
     lines = [
-        f"{'unit':28} {'reference':>11} {'compiled':>11} {'speedup':>8}",
-        "-" * 62,
+        f"{'unit':24} {'reference':>11} {'compiled':>11} {'batch':>11}"
+        f" {'ref/cmp':>8} {'ref/bat':>8} {'cmp/bat':>8}",
+        "-" * 88,
     ]
+
+    def cell(entry):
+        if entry is None:
+            return f"{'-':>11}"
+        return f"{entry['seconds'] * 1000:9.1f}ms"
+
+    def ratio(value):
+        return f"{value:7.2f}x" if value is not None else f"{'-':>8}"
+
     for name, entry in units.items():
         lines.append(
-            f"{name:28} {entry['reference']['seconds']*1000:9.1f}ms"
-            f" {entry['compiled']['seconds']*1000:9.1f}ms"
-            f" {entry['speedup']:7.2f}x"
+            f"{name:24} {cell(entry.get('reference'))} {cell(entry.get('compiled'))}"
+            f" {cell(entry.get('batch'))} {ratio(entry.get('speedup'))}"
+            f" {ratio(entry.get('speedup_batch'))} {ratio(entry.get('batch_gain'))}"
         )
     return "\n".join(lines)
 
@@ -276,7 +370,7 @@ def main(argv=None):
 
     if args.smoke:
         if not check_bit_identity():
-            print("FAIL: backends are no longer bit-identical")
+            print("FAIL: execution strategies are no longer bit-identical")
             return 2
         units = smoke_suite()
         print(render(units))
@@ -291,9 +385,20 @@ def main(argv=None):
                 base = baseline.get(name)
                 if not base:
                     continue
-                floor = REGRESSION_TOLERANCE * base["speedup"]
-                if entry["speedup"] < floor:
-                    out.append((name, entry["speedup"], floor, base["speedup"]))
+                for ratio_name, _, _ in RATIOS:
+                    if ratio_name not in base or ratio_name not in entry:
+                        continue
+                    floor = REGRESSION_TOLERANCE * base[ratio_name]
+                    if entry[ratio_name] < floor:
+                        out.append(
+                            (
+                                name,
+                                ratio_name,
+                                entry[ratio_name],
+                                floor,
+                                base[ratio_name],
+                            )
+                        )
             return out
 
         failed = failing(units)
@@ -301,16 +406,16 @@ def main(argv=None):
             # Wall-time ratios at this scale can wobble on shared CI
             # runners (noisy neighbours mid-timing-window); re-measure
             # just the failing units once before declaring a regression.
-            names = [name for name, *_ in failed]
+            names = sorted({name for name, *_ in failed})
             print(f"retrying after transient miss: {', '.join(names)}")
             retried = smoke_suite(only=names)
             print(render(retried))
             failed = failing(retried)
         if failed:
-            print("FAIL: compiled backend regressed >20% vs baseline:")
-            for name, speed, floor, base in failed:
+            print("FAIL: speedup regressed >20% vs baseline:")
+            for name, ratio_name, speed, floor, base in failed:
                 print(
-                    f"  {name}: speedup {speed:.2f}x < {floor:.2f}x "
+                    f"  {name}.{ratio_name}: {speed:.2f}x < {floor:.2f}x "
                     f"(80% of baseline {base:.2f}x)"
                 )
             return 1
@@ -326,10 +431,12 @@ def main(argv=None):
                 "python": platform.python_version(),
                 "machine": platform.machine(),
                 "note": (
-                    "best-of-N wall times; speedup = reference/compiled. "
-                    "reference = seed-faithful stack (dict loop, eager MT "
-                    "rng, rebuild restriction); compiled = CSR engine "
-                    "(O(active) loop, lazy counter rng, incremental views)."
+                    "best-of-N wall times. reference = seed-faithful stack "
+                    "(dict loop, eager MT rng, rebuild restriction); "
+                    "compiled = CSR engine stepping per node; batch = CSR "
+                    "engine with batched frontier-step kernels (D10). "
+                    "speedup = reference/compiled, speedup_batch = "
+                    "reference/batch, batch_gain = compiled/batch."
                 ),
             },
             "units": units,

@@ -2,9 +2,29 @@
 
 The environment has setuptools but no `wheel`, which breaks PEP 517
 editable installs; this file enables the classic `setup.py develop`
-path.  All metadata lives in pyproject.toml.
+path and carries the dependency metadata.
+
+numpy powers the batched frontier-step kernels (DESIGN.md D10).  It is
+a declared dependency, but the runtime degrades gracefully without it:
+`repro.local.batch` guards the import and every execution path falls
+back to per-node stepping, so an environment that cannot install numpy
+still runs the full pipeline (asserted by tests/test_batch_kernels.py).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-localized-local-algorithms",
+    version="0.2.0",
+    description=(
+        "Reproduction of 'Toward more localized local algorithms: "
+        "removing assumptions concerning global knowledge'"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    install_requires=[
+        "networkx",
+        "numpy",
+    ],
+)

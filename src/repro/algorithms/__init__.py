@@ -68,7 +68,13 @@ from .matching import (
     line_matching_nonuniform,
     line_mis_matching,
 )
-from .registry import TABLE1, TableRow, corollary1_portfolio
+from .registry import (
+    TABLE1,
+    TableRow,
+    capability_table,
+    corollary1_portfolio,
+    row_capabilities,
+)
 from .ruling_sets import (
     bitwise_beta,
     bitwise_ruling_set,
@@ -83,6 +89,8 @@ __all__ = [
     "CliqueProductColoring",
     "KWReducer",
     "TABLE1",
+    "capability_table",
+    "row_capabilities",
     "TableRow",
     "arb_mis",
     "arb_mis_nonly_bound",

@@ -16,10 +16,11 @@ from __future__ import annotations
 
 from ..core.bounds import AdditiveBound, custom
 from ..core.transformer import NonUniform
+from ..local import batch
 from ..local.algorithm import LocalAlgorithm, NodeProcess
 from ..local.message import Broadcast
 from ..mathutils import log_star
-from .color_reduction import KWReducer, kw_total_rounds
+from .color_reduction import KWReducer, kw_schedule, kw_total_rounds
 from .linial import (
     initial_color,
     linial_fixpoint_palette,
@@ -82,12 +83,290 @@ class FastColoringProcess(NodeProcess):
         return None
 
 
+#: Batch-kernel safety bounds: the Linial point matrix is ``n × q`` and
+#: the KW taken matrix ``n × (Δ̃+1)``; configurations beyond these fall
+#: back to per-node stepping rather than allocate absurd scratch.
+_BATCH_Q_LIMIT = 2048
+_BATCH_DELTA_LIMIT = 4096
+#: Colors must fit comfortably in int64 for the vectorized KW phase
+#: arithmetic; bigger initial colors only occur with an empty Linial
+#: schedule under huge identity spaces.
+_BATCH_COLOR_LIMIT = 1 << 62
+
+
+class ColoringBatchKernel:
+    """Whole-frontier Linial + Kuhn–Wattenhofer schedule as array steps.
+
+    The entire round layout of :class:`FastColoringProcess` is a pure
+    function of the guesses, and every node walks it in lockstep — so
+    one global round counter replaces n per-node stage pointers and each
+    round is a handful of numpy operations over the CSR slab:
+
+    * rounds ``1..L`` — Linial reductions: digit-decompose the colors,
+      evaluate every node's polynomial at all of ``F_q`` (one Horner
+      sweep over an ``n × q`` matrix), cover-check against rival
+      neighbours through a per-row OR over the edge slab;
+    * rounds ``L+1..L+K`` — KW halving: the announcer set of a round is
+      ``rank == phase_round``, announcements scatter into per-node
+      ``taken`` rows, chosen values are per-row first-free scans.
+
+    Identities can exceed 64 bits on derived graphs, so the *first*
+    digit decomposition runs in Python big-int arithmetic when the color
+    space demands it; every later palette is tiny.  Bit-identity with
+    the per-node machines is asserted by the equivalence suite.
+    """
+
+    __slots__ = (
+        "bg",
+        "delta",
+        "steps",
+        "kw_phases",
+        "L",
+        "K",
+        "round",
+        "colors_obj",
+        "colors",
+        "kw_index",
+        "group",
+        "rank",
+        "rank_order",
+        "rank_sorted",
+        "taken",
+        "same_own",
+        "same_nb",
+        "fresh_phase",
+        "ann_mask",
+        "ann_group",
+        "ann_value",
+        "in_sweep",
+        "done",
+    )
+
+    def __init__(self, bg, setup, steps, palette, delta):
+        self.bg = bg
+        self.delta = delta
+        self.steps = steps
+        self.kw_phases = kw_schedule(palette, delta)
+        self.L = len(steps)
+        self.K = len(self.kw_phases) * 2 * (delta + 1)
+        self.round = 0
+        inputs = setup.inputs
+        colors = []
+        for label, ident in zip(bg.labels, bg.idents):
+            value = inputs.get(label)
+            if isinstance(value, dict) and "color" in value:
+                colors.append(int(value["color"]) - 1)
+            else:
+                colors.append(ident - 1)
+        self.colors_obj = colors
+        self.colors = None
+        self.kw_index = 0
+        self.ann_mask = None
+        self.in_sweep = False
+        self.done = False
+
+    def undone_indices(self):
+        # The schedule is lockstep: until it completes, every node runs.
+        return list(range(self.bg.n))
+
+    # -- stage transitions ----------------------------------------------
+    def _enter_kw(self):
+        """Freeze colors into the KW reducer state; may finish at once."""
+        np = batch.numpy_or_none()
+        self.colors = np.asarray(self.colors_obj, dtype=np.int64)
+        if not self.kw_phases:
+            return self._complete()
+        self._enter_phase()
+        return [], []
+
+    def _enter_phase(self):
+        np = batch.numpy_or_none()
+        bg = self.bg
+        group_size = 2 * (self.delta + 1)
+        self.group = self.colors // group_size
+        self.rank = self.colors % group_size
+        self.taken = np.zeros((bg.n, self.delta + 1), dtype=bool)
+        # Group and rank are frozen for the whole phase, so the edges
+        # whose announcements can ever land in a taken set — same-group
+        # endpoint pairs — and the per-round announcer slices are
+        # precomputed once; rounds then cost O(group-local traffic), not
+        # O(edge slab).
+        same = self.group[bg.owner] == self.group[bg.neigh]
+        self.same_own = bg.owner[same]
+        self.same_nb = bg.neigh[same]
+        self.rank_order = np.argsort(self.rank, kind="stable")
+        self.rank_sorted = self.rank[self.rank_order]
+        # The first round of a phase may still receive announcements
+        # made under the *previous* phase's groups; only that round
+        # needs the general cross-group filter.
+        self.fresh_phase = True
+
+    def _complete(self):
+        """Schedule exhausted: commit final colors (1-based)."""
+        self.done = True
+        return list(range(self.bg.n)), [int(c) + 1 for c in self.colors]
+
+    # -- round steps ----------------------------------------------------
+    def start(self):
+        if self.L:
+            return [], [], int(self.bg.degrees.sum())
+        finished, results = self._enter_kw()
+        return finished, results, 0
+
+    def step(self):
+        self.round += 1
+        r = self.round
+        if self.in_sweep:
+            return self._sweep_step(r - self.L - self.K)
+        if r <= self.L:
+            self._linial_step(*self.steps[r - 1])
+            if r < self.L:
+                return [], [], int(self.bg.degrees.sum())
+            finished, results = self._enter_kw()
+            return finished, results, 0
+        return self._kw_step(r - self.L)
+
+    def _linial_step(self, q, d):
+        np = batch.numpy_or_none()
+        bg = self.bg
+        n = bg.n
+        space = q ** (d + 1)
+        reduced = [c % space for c in self.colors_obj]
+        digits = np.empty((n, d + 1), dtype=np.int32)
+        if space < _BATCH_COLOR_LIMIT:
+            value = np.asarray(reduced, dtype=np.int64)
+            for j in range(d + 1):
+                digits[:, j] = value % q
+                value //= q
+        else:
+            # First reduction of a huge identity space: peel digits with
+            # Python big ints, then stay in machine words forever after.
+            for i, value in enumerate(reduced):
+                for j in range(d + 1):
+                    digits[i, j] = value % q
+                    value //= q
+        # P[u, x] = p_u(x) over F_q for every evaluation point at once
+        # (values < q ≤ 2048, so int32 holds the Horner intermediates).
+        xs = np.arange(q, dtype=np.int32)
+        points = np.zeros((n, q), dtype=np.int32)
+        for j in range(d, -1, -1):
+            points = (points * xs + digits[:, j : j + 1]) % q
+        # Rivals: neighbours with a different reduced color (digit rows
+        # uniquely encode values below the space).
+        rival = np.flatnonzero(~(digits[bg.owner] == digits[bg.neigh]).all(axis=1))
+        # First-free-point scan, one evaluation column at a time with
+        # early exit: a random-like collision pattern frees almost every
+        # node at x = 0, so the expected work is O(edges), not O(edges·q)
+        # — mirroring the scalar machine's first-hit loop.
+        new_colors = np.empty(n, dtype=np.int64)
+        searching = np.ones(n, dtype=bool)
+        r_own = bg.owner[rival]
+        r_nb = bg.neigh[rival]
+        for x in range(q):
+            col = points[:, x]
+            hits = r_own[(col[r_nb] == col[r_own]) & searching[r_own]]
+            covered = batch.row_flags(hits, n)
+            settled = searching & ~covered
+            idx = np.flatnonzero(settled)
+            if len(idx):
+                new_colors[idx] = np.int64(x) * q + col[idx]
+                searching &= covered
+                if not searching.any():
+                    break
+            if len(r_own) and searching.any():
+                keep = searching[r_own]
+                r_own = r_own[keep]
+                r_nb = r_nb[keep]
+        idx = np.flatnonzero(searching)
+        if len(idx):
+            # Every point covered: the scalar fallback is p(0).
+            new_colors[idx] = points[idx, 0]
+        self.colors_obj = new_colors.tolist()
+
+    def _kw_step(self, j):
+        np = batch.numpy_or_none()
+        bg = self.bg
+        group_size = 2 * (self.delta + 1)
+        phase_round = (j - 1) % group_size
+        if self.ann_mask is not None:
+            if self.fresh_phase:
+                # Cross-boundary absorb: announcements carry the group
+                # they were made under, receivers filter on their new one.
+                own, nb = bg.owner, bg.neigh
+                hits = self.ann_mask[nb] & (self.ann_group[nb] == self.group[own])
+                self.taken[own[hits], self.ann_value[nb[hits]]] = True
+            else:
+                sel = self.ann_mask[self.same_nb]
+                self.taken[self.same_own[sel], self.ann_value[self.same_nb[sel]]] = True
+        self.fresh_phase = False
+        lo = np.searchsorted(self.rank_sorted, phase_round, "left")
+        hi = np.searchsorted(self.rank_sorted, phase_round, "right")
+        rows = self.rank_order[lo:hi]
+        messages = 0
+        if len(rows):
+            free = ~self.taken[rows]
+            has_free = free.any(axis=1)
+            value = np.where(has_free, free.argmax(axis=1), 0)
+            self.colors[rows] = self.group[rows] * (self.delta + 1) + value
+            ann_mask = np.zeros(bg.n, dtype=bool)
+            ann_mask[rows] = True
+            ann_value = np.zeros(bg.n, dtype=np.int64)
+            ann_value[rows] = value
+            self.ann_mask = ann_mask
+            self.ann_group = self.group
+            self.ann_value = ann_value
+            messages = int(bg.degrees[rows].sum())
+        else:
+            self.ann_mask = None
+        finished, results = [], []
+        if j % group_size == 0:
+            self.kw_index += 1
+            if self.kw_index == len(self.kw_phases):
+                finished, results = self._complete()
+            else:
+                self._enter_phase()
+        return finished, results, messages
+
+    def _sweep_step(self, s):
+        raise NotImplementedError("sweep belongs to the MIS kernel")
+
+
+def _coloring_batch_factory(kernel_cls=ColoringBatchKernel):
+    """Eligibility-checked factory shared by the coloring/MIS kernels."""
+
+    def factory(bg, setup):
+        if batch.numpy_or_none() is None:
+            return None
+        delta = max(0, int(setup.guesses["Delta"]))
+        steps, palette = linial_schedule(setup.guesses["m"], delta)
+        if delta + 1 > _BATCH_DELTA_LIMIT:
+            return None
+        if any(q > _BATCH_Q_LIMIT for q, _ in steps):
+            return None
+        if not steps:
+            # Colors feed the KW arithmetic unreduced: decline when the
+            # identity/input space cannot live in int64.
+            for label, ident in zip(bg.labels, bg.idents):
+                value = setup.inputs.get(label)
+                color = (
+                    int(value["color"])
+                    if isinstance(value, dict) and "color" in value
+                    else ident
+                )
+                if color >= _BATCH_COLOR_LIMIT:
+                    return None
+        return kernel_cls(bg, setup, steps, palette, delta)
+
+    return factory
+
+
 def fast_coloring():
     """The non-uniform (Δ̃+1)-coloring algorithm (requires m̃, Δ̃)."""
     return LocalAlgorithm(
         name="fast-coloring",
         process=FastColoringProcess,
         requires=("m", "Delta"),
+        batch=_coloring_batch_factory(),
     )
 
 

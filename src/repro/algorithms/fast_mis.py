@@ -16,10 +16,13 @@ from __future__ import annotations
 
 from ..core.bounds import AdditiveBound, custom
 from ..core.transformer import NonUniform
+from ..local import batch
 from ..local.algorithm import LocalAlgorithm
 from ..local.message import Broadcast
 from .fast_coloring import (
+    ColoringBatchKernel,
     FastColoringProcess,
+    _coloring_batch_factory,
     _kw_atom_value,
     fast_coloring_rounds,
 )
@@ -64,10 +67,67 @@ class FastMISProcess(FastColoringProcess):
         return None
 
 
+class MISBatchKernel(ColoringBatchKernel):
+    """Coloring kernel plus the vectorized color-class sweep.
+
+    Instead of finishing with the final colors, schedule completion
+    opens the sweep: in sweep slot ``s`` every undecided node of color
+    ``s-1`` joins unless a neighbour's earlier ``mis`` announcement
+    blocked it.  Slots are indexed through a sorted color order and
+    blocking walks only the joiners' adjacency rows, so the whole sweep
+    costs O(n log n + edges) — empty slots (gapped garbage colors under
+    bad guesses) cost O(1) instead of a frontier scan.
+    """
+
+    __slots__ = ("blocked", "sweep_order", "slots_sorted", "sweep_ptr", "prev_joiners")
+
+    def _complete(self):
+        np = batch.numpy_or_none()
+        slots = self.colors + 1
+        self.sweep_order = np.argsort(slots, kind="stable")
+        self.slots_sorted = slots[self.sweep_order]
+        self.sweep_ptr = 0
+        self.blocked = np.zeros(self.bg.n, dtype=bool)
+        self.prev_joiners = None
+        self.in_sweep = True
+        return [], []
+
+    def undone_indices(self):
+        np = batch.numpy_or_none()
+        if self.in_sweep:
+            return np.sort(self.sweep_order[self.sweep_ptr :]).tolist()
+        return list(range(self.bg.n))
+
+    def _sweep_step(self, s):
+        np = batch.numpy_or_none()
+        bg = self.bg
+        joiners = self.prev_joiners
+        if joiners is not None and len(joiners):
+            offsets, neigh = bg.offsets, bg.neigh
+            for i in joiners.tolist():
+                self.blocked[neigh[offsets[i] : offsets[i + 1]]] = True
+        hi = np.searchsorted(self.slots_sorted, s, "right")
+        deciders = self.sweep_order[self.sweep_ptr : hi]
+        self.sweep_ptr = hi
+        blocked = self.blocked[deciders]
+        joiners = deciders[~blocked]
+        self.prev_joiners = joiners
+        finished = joiners.tolist()
+        results = [1] * len(finished)
+        lost = deciders[blocked].tolist()
+        finished.extend(lost)
+        results.extend([0] * len(lost))
+        self.done = self.sweep_ptr == bg.n
+        return finished, results, int(bg.degrees[joiners].sum())
+
+
 def fast_mis():
     """The non-uniform MIS (requires m̃, Δ̃)."""
     return LocalAlgorithm(
-        name="fast-mis", process=FastMISProcess, requires=("m", "Delta")
+        name="fast-mis",
+        process=FastMISProcess,
+        requires=("m", "Delta"),
+        batch=_coloring_batch_factory(MISBatchKernel),
     )
 
 

@@ -23,8 +23,9 @@ from functools import lru_cache
 
 from ..core.bounds import AdditiveBound, log2_squared
 from ..core.transformer import NonUniform
+from ..local import batch
 from ..local.algorithm import LocalAlgorithm
-from .luby import NOT_IN_SET, LubyProcess
+from .luby import NOT_IN_SET, LubyProcess, _luby_batch_factory
 
 
 @lru_cache(maxsize=65536)
@@ -51,6 +52,25 @@ def hl_phases(n_guess):
     return HL_PHASE_FACTOR * bits * bits + HL_PHASE_CONSTANT
 
 
+def _hash_priorities(bg, setup):
+    """Frontier-draw hook: deterministic ``(identity, phase)`` hashes.
+
+    The digest itself is not expressible as array arithmetic, but one
+    memoized blake2b per frontier node is orders of magnitude cheaper
+    than the per-node process dispatch the kernel replaces.
+    """
+    np = batch.numpy_or_none()
+    idents = bg.idents
+
+    def draws(idx, phase):
+        return np.array(
+            [_hash_bits(idents[i], phase) for i in idx.tolist()],
+            dtype=np.uint64,
+        )
+
+    return draws
+
+
 def hash_luby_mis():
     """The n-only MIS box: deterministic given identities."""
 
@@ -64,6 +84,10 @@ def hash_luby_mis():
         process=process,
         requires=("n",),
         randomized=False,
+        batch=_luby_batch_factory(
+            budget_of=lambda g: hl_phases(g["n"]),
+            priorities=_hash_priorities,
+        ),
     )
 
 

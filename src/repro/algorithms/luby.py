@@ -31,6 +31,7 @@ from functools import lru_cache
 
 from ..core.bounds import AdditiveBound, log2_of
 from ..core.transformer import NonUniform
+from ..local import batch
 from ..local.algorithm import LocalAlgorithm, NodeProcess
 from ..local.message import Broadcast
 
@@ -91,6 +92,131 @@ def _random_priority(ctx, phase):
     return ctx.rng.getrandbits(62)
 
 
+class LubyBatchKernel:
+    """Whole-frontier Luby phases as array steps over the CSR slab.
+
+    Mirrors :class:`LubyProcess` exactly — same phase structure, same
+    message counts, same termination rounds — with the per-node state
+    held in numpy arrays.  Priority ties break on the node *index*,
+    which equals the identity order of the per-node machines
+    (``BatchGraph`` node order is identity order, and identities are
+    unique, so ``(priority, index)`` and ``(priority, ident)`` induce
+    the same comparisons).
+
+    Engine-round layout (identical to the scalar machine): round 0
+    wake-up bids; odd rounds decide winners (local priority minima
+    finish with 1 and broadcast the win); even rounds retire their
+    neighbours (finish 0), apply the Monte-Carlo phase budget, and
+    redraw bids for the survivors.
+    """
+
+    __slots__ = (
+        "bg",
+        "draws",
+        "budget",
+        "alive",
+        "prio",
+        "phase",
+        "winners",
+        "deciding",
+        "done",
+    )
+
+    def __init__(self, bg, draws, budget):
+        np = batch.numpy_or_none()
+        self.bg = bg
+        self.draws = draws
+        self.budget = budget
+        self.alive = bg.degrees > 0
+        self.prio = np.zeros(bg.n, dtype=np.uint64)
+        self.phase = 0
+        self.winners = None
+        self.deciding = True
+        self.done = False
+
+    def undone_indices(self):
+        np = batch.numpy_or_none()
+        return np.flatnonzero(self.alive).tolist()
+
+    def _draw_bids(self):
+        """Draw fresh priorities for the survivors; returns messages sent."""
+        np = batch.numpy_or_none()
+        self.phase += 1
+        idx = np.flatnonzero(self.alive)
+        self.prio[idx] = self.draws(idx, self.phase)
+        return int(self.bg.degrees[idx].sum())
+
+    def start(self):
+        np = batch.numpy_or_none()
+        isolated = np.flatnonzero(~self.alive).tolist()
+        if not self.alive.any():
+            self.done = True
+            return isolated, [1] * len(isolated), 0
+        messages = self._draw_bids()
+        return isolated, [1] * len(isolated), messages
+
+    def step(self):
+        np = batch.numpy_or_none()
+        bg = self.bg
+        alive = self.alive
+        if self.deciding:
+            # Decision round: a bidder beating every live rival joins.
+            own, nb = bg.owner, bg.neigh
+            po, pn = self.prio[own], self.prio[nb]
+            rival = alive[own] & alive[nb]
+            rival &= (pn < po) | ((pn == po) & (nb < own))
+            beaten = batch.row_flags(own[rival], bg.n)
+            winners = alive & ~beaten
+            self.alive = alive & beaten
+            self.winners = winners
+            self.deciding = False
+            self.done = not bool(self.alive.any())
+            finished = np.flatnonzero(winners).tolist()
+            messages = int(bg.degrees[winners].sum())
+            return finished, [1] * len(finished), messages
+        # Retirement round: losers hear the wins, survivors rebid.
+        heard = self.winners[bg.neigh] & alive[bg.owner]
+        retired = alive & batch.row_flags(bg.owner[heard], bg.n)
+        alive = alive & ~retired
+        finished = np.flatnonzero(retired).tolist()
+        results = [0] * len(finished)
+        if self.budget is not None and self.phase >= self.budget:
+            cut = np.flatnonzero(alive).tolist()
+            finished.extend(cut)
+            results.extend([NOT_IN_SET] * len(cut))
+            alive[:] = False
+        self.alive = alive
+        self.deciding = True
+        messages = 0
+        if alive.any():
+            messages = self._draw_bids()
+        else:
+            self.done = True
+        return finished, results, messages
+
+
+def _luby_batch_factory(budget_of=None, priorities=None):
+    """Batch-kernel factory for a Luby-family algorithm.
+
+    ``budget_of(guesses)`` derives the Monte-Carlo phase budget (``None``
+    for the Las Vegas variant); ``priorities(bg, setup)`` builds the
+    per-phase draw callable (``None`` uses the node's private rng
+    stream, i.e. one ``getrandbits(62)`` per phase).
+    """
+
+    def factory(bg, setup):
+        if batch.numpy_or_none() is None:
+            return None
+        if priorities is not None:
+            draws = priorities(bg, setup)
+        else:
+            draws = setup.draw_source(62).draws
+        budget = budget_of(setup.guesses) if budget_of is not None else None
+        return LubyBatchKernel(bg, draws, budget)
+
+    return factory
+
+
 def luby_mis():
     """The uniform Las Vegas MIS (no parameters, certain correctness)."""
     return LocalAlgorithm(
@@ -98,6 +224,7 @@ def luby_mis():
         process=lambda ctx: LubyProcess(ctx, _random_priority),
         requires=(),
         randomized=True,
+        batch=_luby_batch_factory(),
     )
 
 
@@ -132,6 +259,7 @@ def luby_mc():
         process=process,
         requires=("n",),
         randomized=True,
+        batch=_luby_batch_factory(budget_of=lambda g: mc_phases(g["n"])),
     )
 
 

@@ -168,15 +168,17 @@ class AlternatingEngine:
     def step_algorithm(self, algorithm, *, iteration, index, guesses, budget):
         """Standard step: run ``algorithm`` restricted to ``budget`` rounds.
 
-        Dispatches on the black box's kind: plain LOCAL algorithms go
-        through the domain's restricted runner, host-level orchestrations
-        (:class:`~repro.local.algorithm.HostAlgorithm`) restrict
+        Dispatches on the black box's advertised capability record
+        (``kind``): ``"node"`` algorithms go through the domain's
+        restricted runner, ``"host"`` orchestrations restrict
         themselves.
         """
-        from ..local.algorithm import HostAlgorithm
+        from ..local.algorithm import capabilities_of
+
+        host_kind = capabilities_of(algorithm).get("kind") == "host"
 
         def runner(domain, inputs, salt):
-            if isinstance(algorithm, HostAlgorithm):
+            if host_kind:
                 return algorithm.run_restricted(
                     domain,
                     budget,

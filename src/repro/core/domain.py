@@ -26,8 +26,13 @@ step costs O(pruned work), not O(steps · n log n).
 from __future__ import annotations
 
 from ..local.graph import SimGraph
-from ..local.runner import resolve_backend, run, run_restricted
-from ..local.virtual import VirtualSpec, flatten_outputs, virtualize
+from ..local.runner import batching_requested, resolve_backend, run, run_restricted
+from ..local.virtual import (
+    VirtualSpec,
+    flatten_outputs,
+    run_virtual_batch,
+    virtualize,
+)
 
 #: Extra physical rounds charged per virtual-domain run for the
 #: host-announcement handshake of the virtual layer.
@@ -36,6 +41,10 @@ VIRTUAL_OVERHEAD = 3
 
 class Domain:
     """Common interface over physical and derived execution graphs."""
+
+    #: Domain kind matched against an algorithm's advertised ``domains``
+    #: capability (see ``LocalAlgorithm.capabilities``).
+    kind = "abstract"
 
     @property
     def nodes(self):
@@ -89,6 +98,8 @@ class Domain:
 
 class PhysicalDomain(Domain):
     """The network itself."""
+
+    kind = "physical"
 
     def __init__(self, graph):
         if not isinstance(graph, SimGraph):
@@ -182,6 +193,8 @@ class VirtualDomain(Domain):
     ``budget * dilation + VIRTUAL_OVERHEAD`` physical rounds.
     """
 
+    kind = "virtual"
+
     def __init__(self, physical, spec):
         if not isinstance(spec, VirtualSpec):
             raise TypeError("VirtualDomain wraps a VirtualSpec")
@@ -215,10 +228,29 @@ class VirtualDomain(Domain):
         rng=None,
     ):
         backend, rng = resolve_backend(backend, rng)
+        physical_budget = budget * self.spec.dilation + VIRTUAL_OVERHEAD
+        if backend != "reference" and batching_requested(backend):
+            # Batched fast path: the kernel runs on the virtual graph
+            # itself and the host commit protocol is replayed from the
+            # spec's routing tables — bit-identical domain outputs with
+            # no per-virtual-node host simulation (DESIGN.md D10).
+            outputs = run_virtual_batch(
+                self.spec,
+                algorithm,
+                self.physical,
+                cap=physical_budget,
+                virt_inputs=inputs or {},
+                guesses=guesses,
+                seed=seed,
+                salt=salt,
+                rng_mode=rng,
+                default_output=default_output,
+            )
+            if outputs is not None:
+                return outputs, physical_budget
         wrapped = virtualize(
             self.spec, algorithm, virt_inputs=inputs or {}, engine=backend
         )
-        physical_budget = budget * self.spec.dilation + VIRTUAL_OVERHEAD
         result = run_restricted(
             self.physical,
             wrapped,

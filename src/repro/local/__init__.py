@@ -25,10 +25,12 @@ from .runner import (
     RunResult,
     run,
     run_restricted,
+    set_batch_enabled,
     set_default_backend,
     use_backend,
+    use_batch,
 )
-from .virtual import VirtualSpec, flatten_outputs, virtualize
+from .virtual import VirtualSpec, flatten_outputs, run_virtual_batch, virtualize
 from .wakeup import run_with_wakeup, running_time, termination_times
 
 __all__ = [
@@ -50,11 +52,14 @@ __all__ = [
     "make_rng",
     "run",
     "run_restricted",
+    "run_virtual_batch",
+    "set_batch_enabled",
     "run_with_wakeup",
     "running_time",
     "set_default_backend",
     "termination_times",
     "use_backend",
+    "use_batch",
     "virtualize",
     "zero_round_algorithm",
 ]

@@ -61,20 +61,50 @@ class LocalAlgorithm:
         ``ctx.guess`` (empty tuple -> the algorithm is *uniform*).
     randomized:
         Whether the algorithm consumes random bits (``ctx.rng``).
+    batch:
+        Optional batched-step kernel factory
+        ``(BatchGraph, BatchSetup) -> kernel | None`` (DESIGN.md D10).
+        When present, the compiled engine steps the whole active
+        frontier per round through the kernel instead of dispatching
+        ``receive`` per node; a factory may return ``None`` to decline a
+        configuration it cannot reproduce bit-identically, in which case
+        the engine falls back to per-node stepping.
     """
 
-    __slots__ = ("name", "process", "requires", "randomized")
+    __slots__ = ("name", "process", "requires", "randomized", "batch")
 
-    def __init__(self, name, process, requires=(), randomized=False):
+    #: Domain kinds a per-node algorithm runs on (capability record).
+    domains = ("physical", "virtual")
+
+    def __init__(self, name, process, requires=(), randomized=False, batch=None):
         self.name = name
         self.process = process
         self.requires = tuple(requires)
         self.randomized = bool(randomized)
+        self.batch = batch
 
     @property
     def uniform(self):
         """True when the algorithm needs no global-parameter guesses."""
         return not self.requires
+
+    def capabilities(self):
+        """Capability record driving runner/transformer dispatch.
+
+        ``kind`` selects the execution style (``"node"``: per-node
+        processes through the runner; ``"host"``: self-restricting
+        orchestration), ``supports_batch`` whether a frontier kernel is
+        registered, ``domains`` where the algorithm may execute.  The
+        registry (``repro.algorithms.registry``) aggregates these per
+        Table-1 row.
+        """
+        return {
+            "kind": "node",
+            "supports_batch": self.batch is not None,
+            "domains": self.domains,
+            "randomized": self.randomized,
+            "uniform": self.uniform,
+        }
 
     def make(self, ctx):
         """Instantiate the node process for one node."""
@@ -108,6 +138,8 @@ class HostAlgorithm:
     name = "host-algorithm"
     requires = ()
     randomized = False
+    #: Domain kinds the orchestration accepts (capability record).
+    domains = ("physical",)
 
     def run_restricted(
         self, domain, budget, *, inputs, guesses, seed, salt, default_output
@@ -117,6 +149,16 @@ class HostAlgorithm:
     @property
     def uniform(self):
         return not self.requires
+
+    def capabilities(self):
+        """Capability record; see :meth:`LocalAlgorithm.capabilities`."""
+        return {
+            "kind": "host",
+            "supports_batch": False,
+            "domains": self.domains,
+            "randomized": self.randomized,
+            "uniform": self.uniform,
+        }
 
     def __repr__(self):
         gamma = ",".join(self.requires) if self.requires else "uniform"
@@ -149,3 +191,14 @@ def zero_round_algorithm(name, fn):
     return LocalAlgorithm(
         name=name, process=lambda ctx: FunctionProcess(ctx, fn), requires=()
     )
+
+
+def capabilities_of(algorithm):
+    """Capability record of any black box (``{}`` when undeclared).
+
+    The runner and the transformers dispatch on this record instead of
+    concrete classes, so third-party boxes participate by advertising
+    capabilities rather than by inheritance.
+    """
+    probe = getattr(algorithm, "capabilities", None)
+    return probe() if callable(probe) else {}

@@ -1,0 +1,276 @@
+"""Batched frontier-step infrastructure for the compiled engine.
+
+The per-node execution paths (reference loop, compiled CSR loop) spend
+their time dispatching one Python ``receive`` per active node per round.
+For the lockstep state machines that dominate the reproduction's hot
+workloads — Luby-style priority phases, the Linial/Kuhn–Wattenhofer
+coloring schedule, the color-class MIS sweep — every node of a round
+executes the *same* few arithmetic operations, which makes the whole
+frontier one data-parallel array job over the CSR layout.
+
+This module holds the backend-neutral plumbing of that path (DESIGN.md,
+D10: the batch-step contract):
+
+* :class:`BatchGraph` — numpy mirror of a CSR adjacency (offsets /
+  neighbour / owner slabs) plus the Python-level label and identity
+  views the kernels need for big-integer work.  Node order is identity
+  order, so kernels may tie-break on the node *index* wherever the
+  per-node machines tie-break on the identity.
+* :class:`BatchSetup` — the per-run context a kernel factory receives
+  (inputs, guesses, rng scheme and a lazily-built draw source).
+* Draw sources — vectorized (counter scheme) or loop-based (Mersenne
+  Twister) access to each node's private random stream, producing the
+  exact values the scalar per-node generators would.
+* :func:`row_flags` — "some selected edge points at this node" flag
+  reduction over the edge slab.
+
+numpy is optional: when it is missing (or a kernel factory declines the
+configuration) every caller falls back to the per-node stepping path, so
+the engine never *requires* the dependency.  Kernels register on a
+:class:`~repro.local.algorithm.LocalAlgorithm` through its ``batch``
+factory; eligibility rules live in :func:`make_engine_kernel`.
+
+A kernel instance drives one run:
+
+``start() -> (finished, results, messages)``
+    Round 0 (wake-up).  ``finished`` is a list of node indices that
+    terminated this round, ``results`` their outputs, ``messages`` the
+    number of point-to-point deliveries the round produced.
+``step() -> (finished, results, messages)``
+    One communication round.
+``done``
+    True once every node has terminated.
+``undone_indices() -> list``
+    Indices still running, ascending — what truncation forces to the
+    default output (and what :class:`NonTerminationError` reports).
+
+The contract with the per-node path is *bit-identity*: for the same
+``(graph, algorithm, inputs, guesses, seed, salt, rng scheme)`` the
+kernel must yield a field-for-field identical
+:class:`~repro.local.runner.RunResult` (asserted by
+``tests/test_engine_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+import random
+
+from .context import _IDENT_MIX, _MASK64, CounterRNG, make_rng, run_key
+
+try:  # pragma: no cover - exercised via the fallback test's monkeypatch
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+
+def available():
+    """True when the batch path may be used at all (numpy importable)."""
+    return _np is not None
+
+
+def numpy_or_none():
+    """The numpy module, or ``None`` — kernels re-check at build time."""
+    return _np
+
+
+def stream_keys(key, idents):
+    """Per-node counter-stream keys ``key ^ (ident * mix)`` as uint64.
+
+    Identities may exceed 64 bits (derived-graph encodings), so the
+    mixing is done in Python big-int arithmetic before narrowing.
+    """
+    np = _np
+    return np.array(
+        [(key ^ ((ident * _IDENT_MIX) & _MASK64)) for ident in idents],
+        dtype=np.uint64,
+    )
+
+
+class CounterDraws:
+    """Vectorized per-node draws for the ``"counter"`` rng scheme.
+
+    ``draws(idx, t)`` returns, for each node index in ``idx``, the value
+    the node's ``t``-th ``getrandbits(bits)`` call would produce on its
+    private :class:`~repro.local.context.CounterRNG` stream.
+    """
+
+    __slots__ = ("keys", "bits")
+
+    def __init__(self, keys, bits=62):
+        self.keys = keys
+        self.bits = bits
+
+    def draws(self, idx, draw):
+        return CounterRNG.random_batch(self.keys[idx], draw, self.bits)
+
+
+class SequentialDraws:
+    """Loop-based draws for schemes without a closed per-draw form (mt).
+
+    Generators are materialized lazily per node and advanced one value
+    per draw — exactly the scalar consumption pattern, so the values
+    match the per-node path bit for bit.  Draw indices must therefore
+    arrive in the scalar order: each node's ``t``-th request is its
+    ``t``-th draw (kernels guarantee this: a node draws once per phase
+    while undecided).
+    """
+
+    __slots__ = ("factory", "gens", "bits")
+
+    def __init__(self, factory, n, bits=62):
+        self.factory = factory
+        self.gens = [None] * n
+        self.bits = bits
+
+    def draws(self, idx, draw):
+        np = _np
+        gens = self.gens
+        factory = self.factory
+        bits = self.bits
+        out = np.empty(len(idx), dtype=np.uint64)
+        for j, i in enumerate(idx.tolist()):
+            gen = gens[i]
+            if gen is None:
+                gen = gens[i] = factory(i)
+            out[j] = gen.getrandbits(bits)
+        return out
+
+
+class BatchGraph:
+    """Numpy CSR mirror plus label/identity views, in identity order."""
+
+    __slots__ = ("labels", "idents", "n", "offsets", "neigh", "owner", "degrees")
+
+    def __init__(self, labels, idents, offsets, neigh):
+        np = _np
+        self.labels = labels
+        self.idents = idents  # Python ints: may exceed 64 bits
+        self.n = len(labels)
+        self.offsets = np.asarray(offsets, dtype=np.int64)
+        self.neigh = np.asarray(neigh, dtype=np.int64)
+        self.degrees = self.offsets[1:] - self.offsets[:-1]
+        self.owner = np.repeat(np.arange(self.n, dtype=np.int64), self.degrees)
+
+
+def batch_graph_of(cg):
+    """The cached :class:`BatchGraph` mirror of a ``CompiledGraph``."""
+    bg = cg._batch
+    if bg is None:
+        bg = cg._batch = BatchGraph(cg.labels, cg.idents, cg.offsets, cg.neigh)
+    return bg
+
+
+def batch_graph_of_spec(spec):
+    """A :class:`BatchGraph` over a virtual graph, ordered by identity."""
+    np = _np
+    ident = spec.ident
+    adj = spec.adj
+    labels = sorted(adj, key=lambda v: ident[v])
+    index = {v: i for i, v in enumerate(labels)}
+    rows = [adj[v] for v in labels]
+    offsets = np.zeros(len(labels) + 1, dtype=np.int64)
+    np.cumsum([len(row) for row in rows], out=offsets[1:])
+    neigh = [index[w] for row in rows for w in row]
+    return BatchGraph(labels, [ident[v] for v in labels], offsets, neigh)
+
+
+class BatchSetup:
+    """Run context handed to a kernel factory.
+
+    ``draw_source(bits)`` builds the per-node random-draw view lazily,
+    so deterministic kernels never touch seed material.
+    """
+
+    __slots__ = ("inputs", "guesses", "rng_mode", "_draw_builder")
+
+    def __init__(self, inputs, guesses, rng_mode, draw_builder):
+        self.inputs = inputs
+        self.guesses = guesses
+        self.rng_mode = rng_mode
+        self._draw_builder = draw_builder
+
+    def draw_source(self, bits=62):
+        return self._draw_builder(bits)
+
+
+def _engine_draw_builder(bg, rng_mode, seed, salt):
+    def build(bits):
+        if rng_mode == "counter":
+            return CounterDraws(stream_keys(run_key(seed, salt), bg.idents), bits)
+        idents = bg.idents
+        factory = lambda i: make_rng(seed, salt, idents[i])
+        return SequentialDraws(factory, bg.n, bits)
+
+    return build
+
+
+def virtual_draw_builder(bg, spec, physical, rng_mode, seed, salt):
+    """Draw builder reproducing the virtual layer's nested derivation.
+
+    Each host draws a 64-bit base from its own stream (its first draw),
+    then every hosted virtual node derives an independent sub-stream
+    from ``(base, virtual identity)`` — see
+    :func:`repro.local.context.sub_rng`.
+    """
+
+    def build(bits):
+        np = _np
+        hosts = [spec.host[v] for v in bg.labels]
+        host_ident = physical.ident
+        if rng_mode == "counter":
+            key = run_key(seed, salt)
+            base_cache = {}
+            keys = np.empty(bg.n, dtype=np.uint64)
+            for i, p in enumerate(hosts):
+                base = base_cache.get(p)
+                if base is None:
+                    host_key = key ^ ((host_ident[p] * _IDENT_MIX) & _MASK64)
+                    base = base_cache[p] = CounterRNG(host_key).getrandbits(64)
+                keys[i] = base ^ ((bg.idents[i] * _IDENT_MIX) & _MASK64)
+            return CounterDraws(keys, bits)
+        base_cache = {}
+        idents = bg.idents
+
+        def factory(i):
+            p = hosts[i]
+            base = base_cache.get(p)
+            if base is None:
+                base = base_cache[p] = make_rng(
+                    seed, salt, host_ident[p]
+                ).getrandbits(64)
+            return random.Random(f"{base}|virt|{idents[i]}")
+
+        return SequentialDraws(factory, bg.n, bits)
+
+    return build
+
+
+def row_flags(owner_hits, n):
+    """Boolean per-node flags from the owning side of selected edges."""
+    np = _np
+    flags = np.zeros(n, dtype=bool)
+    flags[owner_hits] = True
+    return flags
+
+
+def make_engine_kernel(
+    algorithm, cg, *, inputs, guesses, seed, salt, rng_mode, track_bits, enabled
+):
+    """Build the run's batch kernel, or ``None`` to step per node.
+
+    Fallback rules (DESIGN.md D10): no registered factory, batching
+    disabled, numpy missing, message-size tracking requested (payload
+    bits are a property of the materialized tuples the batch path never
+    builds), an empty graph, or the factory itself declining the
+    configuration (e.g. palette bounds it cannot represent).
+    """
+    if not enabled or track_bits or _np is None or cg.n == 0:
+        return None
+    factory = getattr(algorithm, "batch", None)
+    if factory is None:
+        return None
+    bg = batch_graph_of(cg)
+    setup = BatchSetup(
+        inputs, guesses, rng_mode, _engine_draw_builder(bg, rng_mode, seed, salt)
+    )
+    return factory(bg, setup)

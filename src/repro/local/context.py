@@ -111,6 +111,36 @@ class CounterRNG:
             r = self.getrandbits(k)
         return r
 
+    @classmethod
+    def random_batch(cls, keys, draw, bits=62):
+        """Vectorized draws across many streams (the batch-kernel view).
+
+        Element ``j`` of the result is exactly what the ``draw``-th
+        ``getrandbits(bits)`` call returns on ``CounterRNG(keys[j])``
+        (``draw`` is 1-based).  The closed form exists because the state
+        is a Weyl sequence: the ``t``-th state is ``key + t*gamma`` and
+        the output a pure finalizer of it, so whole frontiers of draws
+        vectorize without materializing per-node generator objects.
+        Bit-for-bit agreement with the scalar path is pinned by
+        ``tests/test_batch_kernels.py``.
+        """
+        from .batch import numpy_or_none
+
+        np = numpy_or_none()
+        if np is None:
+            raise ParameterError("CounterRNG.random_batch requires numpy")
+        if not 0 < bits <= 64:
+            raise ValueError("batch draws support 1..64 bits per draw")
+        if draw < 1:
+            raise ValueError("draw indices are 1-based")
+        keys = np.asarray(keys, dtype=np.uint64)
+        s = keys + np.uint64((draw * _SPLITMIX_GAMMA) & _MASK64)
+        # Same finalizer as _next64 (murmur3 fmix64 constant); uint64
+        # arithmetic wraps exactly like the scalar's explicit masking.
+        z = (s ^ (s >> np.uint64(33))) * np.uint64(0xFF51AFD7ED558CCD)
+        z ^= z >> np.uint64(33)
+        return z >> np.uint64(64 - bits)
+
 
 def make_rng(seed, salt, ident):
     """Derive a per-node RNG from the run seed, a salt and the identity.

@@ -61,6 +61,7 @@ from __future__ import annotations
 
 from ..errors import NonTerminationError
 from .algorithm import LocalAlgorithm
+from .batch import make_engine_kernel
 from .context import NodeContext, rng_source
 from .message import Broadcast, normalize_outgoing
 from .msgsize import estimate_bits
@@ -80,6 +81,7 @@ class CompiledGraph:
         "neigh",
         "rev",
         "_pairs",
+        "_batch",
     )
 
     def __init__(self, graph, _raw=None):
@@ -110,6 +112,8 @@ class CompiledGraph:
             offsets[i + 1] - offsets[i] for i in range(self.n)
         ]
         self._pairs = None
+        #: Lazily built numpy mirror (repro.local.batch.BatchGraph).
+        self._batch = None
 
     @property
     def pairs(self):
@@ -193,6 +197,58 @@ class CompiledGraph:
         return child
 
 
+def run_batch(
+    kernel, cg, algorithm, *, cap, truncating, default_output, result_cls
+):
+    """Drive one run through a whole-frontier batch kernel.
+
+    The kernel owns the per-node state and the message exchange (as
+    arrays over the CSR slab); this loop keeps the LOCAL-model ledger —
+    round counting, termination times, truncation, non-termination
+    diagnostics — so a batch run reports field-for-field what the
+    per-node paths report (DESIGN.md D10).
+    """
+    labels = cg.labels
+    outputs = {}
+    finish_round = {}
+    finished, results, messages = kernel.start()
+    for i, value in zip(finished, results):
+        label = labels[i]
+        outputs[label] = value
+        finish_round[label] = 0
+    rounds = 0
+    while not kernel.done:
+        if rounds >= cap:
+            undone = kernel.undone_indices()
+            if truncating:
+                for i in undone:
+                    label = labels[i]
+                    outputs[label] = default_output
+                    finish_round[label] = cap
+                return result_cls(
+                    outputs,
+                    finish_round,
+                    cap,
+                    messages,
+                    frozenset(labels[i] for i in undone),
+                    None,
+                )
+            raise NonTerminationError(
+                algorithm.name, cap, [labels[i] for i in undone]
+            )
+        rounds += 1
+        finished, results, sent = kernel.step()
+        messages += sent
+        for i, value in zip(finished, results):
+            label = labels[i]
+            outputs[label] = value
+            finish_round[label] = rounds
+    total = max(finish_round.values()) if finish_round else 0
+    return result_cls(
+        outputs, finish_round, total, messages, frozenset(), None
+    )
+
+
 def run_compiled(
     graph,
     algorithm,
@@ -207,14 +263,41 @@ def run_compiled(
     track_bits,
     rng_mode,
     result_cls,
+    use_batch=True,
 ):
     """Execute one synchronous run on the compiled engine.
 
     Arguments arrive pre-validated from :func:`repro.local.runner.run`;
     the returned ``result_cls`` instance is field-for-field identical to
-    what the reference loop produces for the same configuration.
+    what the reference loop produces for the same configuration.  When
+    the algorithm registers a batch kernel (and the run is eligible —
+    see :func:`repro.local.batch.make_engine_kernel`), the whole
+    frontier is stepped per round through :func:`run_batch` instead of
+    dispatching per node.
     """
     cg = graph.compiled()
+    if use_batch:
+        kernel = make_engine_kernel(
+            algorithm,
+            cg,
+            inputs=inputs,
+            guesses=guesses,
+            seed=seed,
+            salt=salt,
+            rng_mode=rng_mode,
+            track_bits=track_bits,
+            enabled=True,
+        )
+        if kernel is not None:
+            return run_batch(
+                kernel,
+                cg,
+                algorithm,
+                cap=cap,
+                truncating=truncating,
+                default_output=default_output,
+                result_cls=result_cls,
+            )
     n = cg.n
     labels = cg.labels
     idents = cg.idents

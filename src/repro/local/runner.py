@@ -41,7 +41,7 @@ import os
 from contextlib import contextmanager
 
 from ..errors import NonTerminationError, ParameterError
-from .algorithm import LocalAlgorithm
+from .algorithm import capabilities_of
 from .context import NodeContext, rng_source
 from .message import Broadcast, normalize_outgoing
 from .msgsize import estimate_bits
@@ -49,7 +49,10 @@ from .msgsize import estimate_bits
 #: Cap applied when the caller neither bounds the rounds nor truncates.
 SAFETY_ROUND_CAP = 100_000
 
-_BACKENDS = ("compiled", "reference")
+#: ``"batch"`` is the compiled engine with the batched frontier-step
+#: path explicitly requested (it is also auto-selected under
+#: ``"compiled"`` whenever the algorithm registers a kernel).
+_BACKENDS = ("compiled", "reference", "batch")
 _RNG_MODES = ("counter", "mt")
 
 #: Process-wide backend default (overridable per call).
@@ -57,6 +60,34 @@ DEFAULT_BACKEND = os.environ.get("REPRO_BACKEND", "compiled")
 #: Process-wide rng-scheme override; ``None`` picks the backend's native
 #: scheme ("counter" for compiled, "mt" for reference).
 DEFAULT_RNG = os.environ.get("REPRO_RNG") or None
+#: Process-wide switch for the batched frontier-step path (DESIGN.md
+#: D10).  Off, every run steps per node — the fallback that also engages
+#: automatically when numpy is unavailable.  ``backend="batch"``
+#: overrides a disabled switch for that call.
+BATCH_ENABLED = os.environ.get("REPRO_BATCH", "1").lower() not in (
+    "0",
+    "off",
+    "false",
+)
+
+
+def set_batch_enabled(enabled):
+    """Toggle the batched execution path; returns the previous value."""
+    global BATCH_ENABLED
+    previous = BATCH_ENABLED
+    BATCH_ENABLED = bool(enabled)
+    return previous
+
+
+@contextmanager
+def use_batch(enabled):
+    """Temporarily pin the batched-path switch (equivalence tests diff
+    the batch and per-node steppings under ``use_batch(False)``)."""
+    previous = set_batch_enabled(enabled)
+    try:
+        yield
+    finally:
+        set_batch_enabled(previous)
 
 
 def set_default_backend(backend):
@@ -91,7 +122,12 @@ def use_backend(backend, rng=None):
 
 
 def resolve_backend(backend=None, rng=None):
-    """Resolve (backend, rng_mode) from per-call values and defaults."""
+    """Resolve (backend, rng_mode) from per-call values and defaults.
+
+    ``"batch"`` resolves like ``"compiled"`` (same engine, same native
+    rng scheme); it additionally *requests* the batched stepping even
+    when the process-wide switch is off.
+    """
     backend = backend or DEFAULT_BACKEND
     if backend not in _BACKENDS:
         raise ParameterError(f"unknown backend {backend!r} (use {_BACKENDS})")
@@ -99,6 +135,11 @@ def resolve_backend(backend=None, rng=None):
     if rng not in _RNG_MODES:
         raise ParameterError(f"unknown rng scheme {rng!r} (use {_RNG_MODES})")
     return backend, rng
+
+
+def batching_requested(backend):
+    """Whether a resolved backend name should take the batched path."""
+    return backend == "batch" or (backend == "compiled" and BATCH_ENABLED)
 
 
 class RunResult:
@@ -200,15 +241,19 @@ def run(
         Record the largest payload size observed (Section 6.2's
         message-size instrumentation; small runtime overhead).
     backend:
-        ``"compiled"`` (CSR engine, default) or ``"reference"`` (the
-        specification loop).  ``None`` uses the process default.
+        ``"compiled"`` (CSR engine, default), ``"reference"`` (the
+        specification loop) or ``"batch"`` (the CSR engine with the
+        batched frontier-step path explicitly requested; compiled runs
+        auto-select it whenever the algorithm registers a kernel and
+        :data:`BATCH_ENABLED` is on).  ``None`` uses the process
+        default.
     rng:
         Per-node random-source scheme, ``"counter"`` or ``"mt"``;
         ``None`` uses the backend's native scheme.  Pin it when diffing
         backends — the schemes produce different (equally valid) random
         streams.
     """
-    if not isinstance(algorithm, LocalAlgorithm):
+    if capabilities_of(algorithm).get("kind") != "node":
         raise TypeError(f"expected LocalAlgorithm, got {type(algorithm).__name__}")
     guesses = dict(guesses or {})
     missing = [p for p in algorithm.requires if p not in guesses]
@@ -225,7 +270,7 @@ def run(
     else:
         cap = max_rounds
     backend, rng_mode = resolve_backend(backend, rng)
-    if backend == "compiled":
+    if backend != "reference":
         from .engine import run_compiled
 
         return run_compiled(
@@ -241,6 +286,7 @@ def run(
             track_bits=track_bits,
             rng_mode=rng_mode,
             result_cls=RunResult,
+            use_batch=batching_requested(backend),
         )
     return _run_reference(
         graph,

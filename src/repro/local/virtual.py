@@ -47,8 +47,14 @@ full rebuild) remains the specification path it is tested against.
 
 from __future__ import annotations
 
-from ..errors import InvalidInstanceError
+from ..errors import InvalidInstanceError, ParameterError
 from .algorithm import LocalAlgorithm, NodeProcess
+from .batch import (
+    BatchSetup,
+    available as batch_available,
+    batch_graph_of_spec,
+    virtual_draw_builder,
+)
 from .context import NodeContext, sub_rng
 from .message import Broadcast
 
@@ -83,7 +89,7 @@ class VirtualSpec:
         "forward_plan",
         "recv_port",
         "relay_client_ports",
-        "routes",
+        "_routes",
     )
 
     def __init__(self, host, ident, adj, physical_graph):
@@ -102,7 +108,7 @@ class VirtualSpec:
             for port, other in enumerate(neighbours):
                 self.recv_port[(other, virt)] = port
         self._build_routes(physical_graph)
-        self._index_routes()
+        self._routes = None
 
     def _build_routes(self, graph):
         port_to = {u: {v: p for p, v, _ in graph.adj[u]} for u in graph.nodes}
@@ -157,16 +163,26 @@ class VirtualSpec:
             ports = {port_to[relay][p] for p in clients}
             self.relay_client_ports[relay] = frozenset(ports)
 
-    def _index_routes(self):
-        recv_port = self.recv_port
-        send_plan = self.send_plan
-        self.routes = {
-            virt: tuple(
-                (other, recv_port[(virt, other)], send_plan[(virt, other)])
-                for other in neighbours
-            )
-            for virt, neighbours in self.adj.items()
-        }
+    @property
+    def routes(self):
+        """Pre-zipped host dispatch tables, built on first use.
+
+        Only the host-process engines walk these; the batched virtual
+        driver reads the plans directly, so runs that never fall back to
+        host simulation never pay for the indexing.
+        """
+        table = self._routes
+        if table is None:
+            recv_port = self.recv_port
+            send_plan = self.send_plan
+            table = self._routes = {
+                virt: tuple(
+                    (other, recv_port[(virt, other)], send_plan[(virt, other)])
+                    for other in neighbours
+                )
+                for virt, neighbours in self.adj.items()
+            }
+        return table
 
     def restricted(self, keep):
         """Spec induced on the surviving virtual nodes (incremental).
@@ -216,7 +232,7 @@ class VirtualSpec:
             relay: frozenset(ports)
             for relay, ports in relay_client_ports.items()
         }
-        spec._index_routes()
+        spec._routes = None
         return spec
 
     @property
@@ -591,6 +607,130 @@ def virtualize(spec, algorithm, *, virt_inputs=None, name=None, engine=None):
         requires=algorithm.requires,
         randomized=algorithm.randomized,
     )
+
+
+def run_virtual_batch(
+    spec,
+    algorithm,
+    physical,
+    *,
+    cap,
+    virt_inputs,
+    guesses,
+    seed,
+    salt,
+    rng_mode,
+    default_output,
+):
+    """Budgeted virtual run through a batch kernel; ``None`` = ineligible.
+
+    The host simulation (``virtualize`` + the physical runner) exists to
+    realize the derived-graph execution on the network; its *observable*
+    product at the domain level is the per-virtual-node output map.  When
+    the inner algorithm registers a batch kernel, this driver produces
+    that map bit-identically without materializing a physical transcript:
+
+    * the kernel runs directly on the virtual graph's CSR (node order =
+      virtual identity order), with each virtual node's random stream
+      derived exactly as the hosts derive it (host base draw + sub
+      stream, :func:`virtual_draw_builder`);
+    * virtual round ``k`` corresponds to physical round
+      ``(k-1) * dilation``, so the kernel is stepped
+      ``cap // dilation + 1`` times at most;
+    * host commit times are replayed from the announcement protocol: a
+      host announces when its last hosted virtual node finishes, a relay
+      additionally waits one round past each client host's announcement
+      (``relay_client_ports`` ↦ client hosts through the physical port
+      map).  Hosts whose commit round exceeds the physical budget
+      contribute the default output for all their virtual nodes —
+      exactly the truncation semantics of the simulated run.
+
+    Equivalence with the host path is asserted by the equivalence suite
+    for full, truncated and restricted-spec runs.
+    """
+    if not batch_available() or not spec.adj:
+        return None
+    factory = getattr(algorithm, "batch", None)
+    if factory is None:
+        return None
+    guesses = dict(guesses or {})
+    missing = [p for p in algorithm.requires if p not in guesses]
+    if missing:
+        # Same diagnostic the host path raises through the runner.
+        name = f"virtual[{algorithm.name}]"
+        raise ParameterError(f"algorithm {name!r} requires guesses for {missing}")
+    bg = batch_graph_of_spec(spec)
+    setup = BatchSetup(
+        virt_inputs or {},
+        guesses,
+        rng_mode,
+        virtual_draw_builder(bg, spec, physical, rng_mode, seed, salt),
+    )
+    kernel = factory(bg, setup)
+    if kernel is None:
+        return None
+
+    dilation = spec.dilation
+    max_vrounds = cap // dilation + 1
+    finish_vround = {}
+    results = {}
+    finished, values, _ = kernel.start()
+    for i, value in zip(finished, values):
+        finish_vround[i] = 1
+        results[i] = value
+    vround = 1
+    while not kernel.done and vround < max_vrounds:
+        vround += 1
+        finished, values, _ = kernel.step()
+        for i, value in zip(finished, values):
+            finish_vround[i] = vround
+            results[i] = value
+
+    vindex = {label: i for i, label in enumerate(bg.labels)}
+    # A host announces at the physical round its last virtual node
+    # finishes (None: not within the simulated horizon).
+    announce = {}
+    for p in physical.nodes:
+        virts = spec.hosted.get(p)
+        if not virts:
+            announce[p] = 0
+            continue
+        last = 0
+        for v in virts:
+            k = finish_vround.get(vindex[v])
+            if k is None:
+                last = None
+                break
+            if k > last:
+                last = k
+        announce[p] = None if last is None else (last - 1) * dilation
+    # A relay commits only after every client host's announcement has
+    # crossed its physical edge (one round after it is broadcast).
+    commit = dict(announce)
+    for relay, ports in spec.relay_client_ports.items():
+        worst = commit[relay]
+        if worst is None:
+            continue
+        row = physical.adj[relay]
+        for port in ports:
+            client_announce = announce[row[port][1]]
+            if client_announce is None:
+                worst = None
+                break
+            if client_announce + 1 > worst:
+                worst = client_announce + 1
+        commit[relay] = worst
+
+    outputs = {}
+    host_of = spec.host
+    for virt in spec.virtual_nodes:
+        committed = commit[host_of[virt]]
+        if committed is not None and committed <= cap:
+            value = results[vindex[virt]]
+            outputs[virt] = default_output if value is None else value
+        else:
+            outputs[virt] = default_output
+    return outputs
 
 
 def flatten_outputs(spec, physical_outputs, *, default=None):

@@ -1,0 +1,175 @@
+"""Batched frontier-step infrastructure (DESIGN.md D10).
+
+Covers the pieces under the equivalence suite's bit-identity umbrella:
+the vectorized counter draws, the numpy-free fallback, the capability
+records that drive backend selection, and the batch-path plumbing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import TABLE1, capability_table
+from repro.algorithms.fast_mis import fast_mis
+from repro.algorithms.luby import luby_mis
+from repro.core.domain import VirtualDomain
+from repro.graphs import line_graph_spec
+from repro.local import CounterRNG, run, use_batch
+from repro.local import batch as batch_module
+from repro.local.algorithm import HostAlgorithm, capabilities_of
+from repro.local.context import counter_rng, run_key
+from repro.local.runner import batching_requested, resolve_backend
+
+numpy = pytest.importorskip("numpy")
+
+
+class TestCounterRandomBatch:
+    def test_matches_scalar_draws_element_for_element(self):
+        key = run_key(7, "salt")
+        idents = [1, 2, 97, 12345, 2**66 + 3]
+        keys = batch_module.stream_keys(key, idents)
+        streams = [counter_rng(key, ident) for ident in idents]
+        for draw in range(1, 7):
+            batched = CounterRNG.random_batch(keys, draw)
+            scalar = [stream.getrandbits(62) for stream in streams]
+            assert batched.tolist() == scalar, draw
+
+    @pytest.mark.parametrize("bits", (1, 8, 53, 62, 64))
+    def test_bit_widths(self, bits):
+        keys = batch_module.stream_keys(3, [5, 6, 7])
+        batched = CounterRNG.random_batch(keys, 1, bits)
+        scalar = [CounterRNG(int(k)).getrandbits(bits) for k in keys.tolist()]
+        assert batched.tolist() == scalar
+
+    def test_rejects_bad_arguments(self):
+        keys = batch_module.stream_keys(0, [1])
+        with pytest.raises(ValueError):
+            CounterRNG.random_batch(keys, 0)
+        with pytest.raises(ValueError):
+            CounterRNG.random_batch(keys, 1, 65)
+
+    def test_draw_source_matches_scalar_consumption(self):
+        """CounterDraws(idx, t) is the t-th draw of each node's stream."""
+        key = run_key(1, 0)
+        idents = [11, 22, 33, 44]
+        draws = batch_module.CounterDraws(batch_module.stream_keys(key, idents))
+        idx = numpy.array([0, 2, 3])
+        second = draws.draws(idx, 2)
+        for position, node in enumerate(idx.tolist()):
+            stream = counter_rng(key, idents[node])
+            stream.getrandbits(62)
+            assert int(second[position]) == stream.getrandbits(62)
+
+
+class TestFallbackWithoutNumpy:
+    def test_runs_green_and_identical(self, small_gnp, monkeypatch):
+        """With numpy gone every path falls back to per-node stepping."""
+        with use_batch(False):
+            expected = run(small_gnp, luby_mis(), seed=3)
+        monkeypatch.setattr(batch_module, "_np", None)
+        assert not batch_module.available()
+        for backend in ("compiled", "batch"):
+            result = run(small_gnp, luby_mis(), seed=3, backend=backend)
+            assert result.outputs == expected.outputs
+            assert result.rounds == expected.rounds
+            assert result.messages == expected.messages
+
+    def test_virtual_domain_falls_back(self, small_gnp, monkeypatch):
+        spec = line_graph_spec(small_gnp)
+        guesses = {"m": small_gnp.max_ident**2, "Delta": 2 * small_gnp.max_degree}
+        domain = VirtualDomain(small_gnp, spec)
+        with use_batch(False):
+            expected = domain.run_restricted(
+                fast_mis(), 40, seed=5, guesses=guesses
+            )
+        monkeypatch.setattr(batch_module, "_np", None)
+        domain = VirtualDomain(small_gnp, spec)
+        actual = domain.run_restricted(fast_mis(), 40, seed=5, guesses=guesses)
+        assert actual == expected
+
+    def test_random_batch_raises_cleanly(self, monkeypatch):
+        from repro.errors import ParameterError
+
+        monkeypatch.setattr(batch_module, "_np", None)
+        with pytest.raises(ParameterError):
+            CounterRNG.random_batch([1, 2], 1)
+
+
+class TestCapabilities:
+    def test_local_algorithm_records(self):
+        caps = capabilities_of(luby_mis())
+        assert caps["kind"] == "node"
+        assert caps["supports_batch"] is True
+        assert caps["randomized"] is True
+        plain = capabilities_of(HostAlgorithm())
+        assert plain["kind"] == "host"
+        assert plain["supports_batch"] is False
+        assert capabilities_of(object()) == {}
+
+    def test_registry_table(self):
+        table = capability_table()
+        assert set(table) == set(TABLE1)
+        assert table["mis-fast"]["supports_batch"] is True
+        assert table["mis-nonly"]["supports_batch"] is True
+        assert table["luby"]["supports_batch"] is True
+        assert table["matching"]["kind"] == "host"
+        assert table["matching"]["inner_supports_batch"] is True
+        assert table["mis-arb-product"]["kind"] == "host"
+        for caps in table.values():
+            assert caps["domains"]
+
+    def test_runner_rejects_non_node_kinds(self, small_gnp):
+        with pytest.raises(TypeError):
+            run(small_gnp, HostAlgorithm())
+
+
+class TestBackendSelection:
+    def test_batch_backend_resolves(self):
+        backend, rng = resolve_backend("batch", None)
+        assert backend == "batch"
+        assert rng == "counter"
+        assert batching_requested("batch") is True
+        assert batching_requested("reference") is False
+
+    def test_batch_request_overrides_disabled_switch(self, small_gnp):
+        with use_batch(False):
+            assert batching_requested("compiled") is False
+            assert batching_requested("batch") is True
+            pernode = run(small_gnp, luby_mis(), seed=3, backend="compiled")
+            forced = run(small_gnp, luby_mis(), seed=3, backend="batch")
+        assert pernode.outputs == forced.outputs
+        assert pernode.rounds == forced.rounds
+
+    def test_track_bits_falls_back(self, small_gnp):
+        """Message-size instrumentation always uses per-node stepping."""
+        result = run(
+            small_gnp, luby_mis(), seed=3, backend="batch", track_bits=True
+        )
+        assert result.max_message_bits is not None
+        assert result.max_message_bits > 0
+
+    def test_kernel_built_only_when_registered(self, small_gnp):
+        from repro.local.batch import make_engine_kernel
+
+        cg = small_gnp.compiled()
+        kernel = make_engine_kernel(
+            luby_mis(), cg, inputs={}, guesses={}, seed=0, salt=0,
+            rng_mode="counter", track_bits=False, enabled=True,
+        )
+        assert kernel is not None
+        from repro.local.algorithm import LocalAlgorithm, NodeProcess
+
+        plain = LocalAlgorithm("plain", NodeProcess)
+        assert (
+            make_engine_kernel(
+                plain, cg, inputs={}, guesses={}, seed=0, salt=0,
+                rng_mode="counter", track_bits=False, enabled=True,
+            )
+            is None
+        )
+
+    def test_setup_declares_numpy(self):
+        from pathlib import Path
+
+        text = Path(__file__).resolve().parents[1].joinpath("setup.py").read_text()
+        assert '"numpy"' in text

@@ -13,7 +13,10 @@ from __future__ import annotations
 import pytest
 
 from repro.algorithms import TABLE1
-from repro.algorithms.luby import luby_mis
+from repro.algorithms.fast_coloring import fast_coloring
+from repro.algorithms.fast_mis import fast_mis
+from repro.algorithms.hash_luby import hash_luby_mis
+from repro.algorithms.luby import luby_mc, luby_mis
 from repro.bench import WORKLOADS, build_graph
 from repro.core.domain import PhysicalDomain, VirtualDomain
 from repro.errors import NonTerminationError
@@ -25,6 +28,7 @@ from repro.local import (
     run,
     run_restricted,
     use_backend,
+    use_batch,
 )
 from repro.problems import MIS
 
@@ -222,6 +226,133 @@ class TestVirtualDomainEquivalence:
                 luby_mis(), seed=23, backend=backend, rng="counter"
             )
         assert outputs["reference"] == outputs["compiled"]
+
+
+def run_batch_both(graph, algorithm, rng, **kwargs):
+    """One per-node compiled run, one batched run of the same config."""
+    with use_batch(False):
+        pernode = run(graph, algorithm, backend="compiled", rng=rng, **kwargs)
+    batched = run(graph, algorithm, backend="batch", rng=rng, **kwargs)
+    return pernode, batched
+
+
+def kernel_algorithms(graph):
+    """Every algorithm with a batch kernel, with good and garbage guesses."""
+    good = {"m": graph.max_ident, "Delta": graph.max_degree}
+    bad = {"m": 12, "Delta": 3}
+    return [
+        ("luby-mis", luby_mis(), None),
+        ("luby-mc", luby_mc(), {"n": graph.n}),
+        ("hash-luby", hash_luby_mis(), {"n": graph.n}),
+        ("fast-coloring", fast_coloring(), good),
+        ("fast-mis", fast_mis(), good),
+        ("fast-coloring-bad-guess", fast_coloring(), bad),
+        ("fast-mis-bad-guess", fast_mis(), bad),
+    ]
+
+
+class TestBatchEquivalence:
+    """Batch-vs-per-node bit identity for every batched kernel (D10)."""
+
+    @pytest.mark.parametrize("workload", ("gnp-sparse", "tree", "star-noise"))
+    @pytest.mark.parametrize("rng", RNGS)
+    def test_full_runs(self, workload, rng):
+        graph = build_graph(WORKLOADS[workload](52, seed=3), seed=4)
+        for label, algorithm, guesses in kernel_algorithms(graph):
+            pernode, batched = run_batch_both(
+                graph, algorithm, rng, seed=11, guesses=guesses
+            )
+            assert_results_equal(pernode, batched, context=(workload, rng, label))
+
+    @pytest.mark.parametrize("rounds", (1, 2, 7))
+    def test_truncated_runs(self, small_gnp, rounds):
+        for label, algorithm, guesses in kernel_algorithms(small_gnp):
+            with use_batch(False):
+                pernode = run_restricted(
+                    small_gnp, algorithm, rounds, default_output="cut",
+                    guesses=guesses, backend="compiled", rng="counter",
+                )
+            batched = run_restricted(
+                small_gnp, algorithm, rounds, default_output="cut",
+                guesses=guesses, backend="batch", rng="counter",
+            )
+            assert_results_equal(pernode, batched, context=(rounds, label))
+
+    def test_batch_matches_reference(self, small_gnp):
+        for label, algorithm, guesses in kernel_algorithms(small_gnp):
+            reference = run(
+                small_gnp, algorithm, backend="reference", rng="counter",
+                seed=5, guesses=guesses,
+            )
+            batched = run(
+                small_gnp, algorithm, backend="batch", rng="counter",
+                seed=5, guesses=guesses,
+            )
+            assert_results_equal(reference, batched, context=label)
+
+    def test_nontermination_parity(self, small_gnp):
+        errors = {}
+        for batching in (False, True):
+            with use_batch(batching):
+                with pytest.raises(NonTerminationError) as excinfo:
+                    run(small_gnp, luby_mis(), max_rounds=1, rng="counter")
+            errors[batching] = str(excinfo.value)
+        assert errors[False] == errors[True]
+
+    @pytest.mark.parametrize("rng", RNGS)
+    @pytest.mark.parametrize("budget", (2, 8, 40))
+    def test_line_graph_domain(self, small_gnp, rng, budget):
+        spec = line_graph_spec(small_gnp)
+        guesses = {"m": small_gnp.max_ident**2, "Delta": 2 * small_gnp.max_degree}
+        for label, algorithm, g in (
+            ("luby", luby_mis(), None),
+            ("fast-mis", fast_mis(), guesses),
+        ):
+            outputs = {}
+            for batching in (False, True):
+                domain = VirtualDomain(small_gnp, spec)
+                with use_batch(batching):
+                    outputs[batching] = domain.run_restricted(
+                        algorithm, budget, seed=19, guesses=g, rng=rng
+                    )
+            assert outputs[False] == outputs[True], (label, rng, budget)
+
+    def test_clique_product_domain(self, small_gnp):
+        spec = clique_product_spec(small_gnp)
+        outputs = {}
+        for batching in (False, True):
+            domain = VirtualDomain(small_gnp, spec)
+            with use_batch(batching):
+                outputs[batching] = domain.run_restricted(
+                    luby_mis(), 30, seed=23, rng="counter"
+                )
+        assert outputs[False] == outputs[True]
+
+    def test_restricted_spec_domain(self, small_gnp):
+        """Batch driver on an incrementally restricted virtual spec."""
+        spec = line_graph_spec(small_gnp)
+        keep = set(list(spec.virtual_nodes)[::2])
+        outputs = {}
+        for batching in (False, True):
+            domain = VirtualDomain(small_gnp, spec)
+            with use_batch(batching):
+                sub = domain.subgraph(keep)
+                outputs[batching] = sub.run_restricted(
+                    luby_mis(), 24, seed=29, rng="counter"
+                )
+        assert outputs[False] == outputs[True]
+
+    def test_matching_row_pipeline(self, small_gnp):
+        """Whole matching alternation: batch vs per-node stepping."""
+        results = {}
+        for batching in (False, True):
+            with use_backend("compiled", rng="counter"):
+                with use_batch(batching):
+                    _, _, uniform = TABLE1["matching"].build()
+                    results[batching] = uniform.run(small_gnp, seed=17)
+        assert results[False].outputs == results[True].outputs
+        assert results[False].rounds == results[True].rounds
+        assert len(results[False].steps) == len(results[True].steps)
 
 
 def spec_signature(spec):
