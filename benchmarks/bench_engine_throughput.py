@@ -140,7 +140,13 @@ def unit_plain_luby(n, seeds, reps):
 
 
 def unit_table1_row(row, n, seeds, reps):
-    """A Table-1 row's uniform transform (alternation) on gnp-sparse."""
+    """A Table-1 row's uniform transform (alternation) on gnp-sparse.
+
+    Records the per-step backend attribution of the last run
+    (``StepRecord.backends`` aggregated by ``backend_summary``), so the
+    committed baseline shows whether an alternation's guess *and*
+    pruning runs actually took the batched path.
+    """
     graph = build_graph(WORKLOADS["gnp-sparse"](n, seed=2), seed=2)
 
     def make(backend):
@@ -155,6 +161,10 @@ def unit_table1_row(row, n, seeds, reps):
                 steps += len(result.steps)
             state["rounds"] = rounds
             state["steps"] = steps
+            state["step_backends"] = {
+                key: entry["steps"]
+                for key, entry in sorted(result.backend_summary().items())
+            }
 
         return fn, lambda: dict(state)
 
@@ -303,6 +313,20 @@ def check_bit_identity(n=120):
                     or first.finish_round != other.finish_round
                 ):
                     return False
+    # Whole-alternation identity: guess runs AND pruner runs must agree
+    # across the three stepping strategies (D11 pruner batch contract).
+    # The rng scheme is pinned — the strategies are only comparable
+    # under the same random streams.
+    alternations = []
+    for backend in BACKENDS:
+        base = "reference" if backend == "reference" else "compiled"
+        with use_backend(base, rng="counter"), use_batch(backend == "batch"):
+            _, _, uniform = TABLE1["luby"].build()
+            alternations.append(uniform.run(graph, seed=3))
+    first = alternations[0]
+    for other in alternations[1:]:
+        if first.outputs != other.outputs or first.rounds != other.rounds:
+            return False
     return True
 
 
@@ -312,6 +336,17 @@ def full_suite():
         "table1-luby-n2000": unit_plain_luby(2000, (1, 2, 3, 4, 5), reps=3),
         "table1-luby-wrap-n2000": unit_table1_row("luby", 2000, (1,), reps=3),
         "table1-matching-n2000": unit_table1_row("matching", 2000, (1,), reps=1),
+        # Pruning-heavy alternation: multi-seed Theorem-2 Luby pipeline,
+        # where every step runs the P(2,1) pruner — the floor the D11
+        # pruner kernels remove (batch_gain is the tracked number).
+        "uniform-alternation-n2000": unit_table1_row(
+            "luby", 2000, (1, 2, 3), reps=3
+        ),
+        # Arboricity orchestration: H-partition peeling + nested uniform
+        # fast-MIS per class + per-step MIS pruning, all batched.
+        "arboricity-n1200": unit_table1_row(
+            "mis-arb-product", 1200, (1,), reps=3
+        ),
         "matching-dense-n1800": unit_matching_dense(1800, reps=1),
         "workload-sweep-n600": unit_workload_sweep(600, reps=3),
         "subgraph-cascade-n2000": unit_subgraph_cascade(2000, reps=3),
@@ -329,6 +364,13 @@ SMOKE_UNITS = {
     "smoke-luby": lambda: unit_plain_luby(SMOKE_N, (1, 2), reps=SMOKE_REPS),
     "smoke-subgraph": lambda: unit_subgraph_cascade(SMOKE_N, reps=SMOKE_REPS),
     "smoke-matching": lambda: unit_table1_row("matching", 300, (1,), reps=2),
+    # Pruning-heavy gate unit: every step of the Theorem-2 Luby
+    # alternation runs the P(2,1) pruner, so this guards the batched
+    # pruner kernels (D11) the way smoke-matching guards the virtual
+    # driver.
+    "smoke-alternation": lambda: unit_table1_row(
+        "luby", SMOKE_N, (1, 2), reps=SMOKE_REPS
+    ),
 }
 
 

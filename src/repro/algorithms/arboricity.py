@@ -28,6 +28,7 @@ from ..core.bounds import AdditiveBound, ProductBound, custom
 from ..core.pruning import RulingSetPruning
 from ..core.transformer import NonUniform, theorem1
 from ..core.weak_domination import DominationWitness
+from ..local import batch
 from ..local.algorithm import HostAlgorithm, LocalAlgorithm, NodeProcess
 from ..local.message import Broadcast
 from ..mathutils import ceil_log2
@@ -73,10 +74,60 @@ class HPartitionProcess(NodeProcess):
         return Broadcast(("st", self.cls != 0))
 
 
+class HPartitionKernel(batch.LockstepKernel):
+    """Whole-frontier degree-threshold peeling as bincount sweeps.
+
+    Mirrors :class:`HPartitionProcess` round for round: every node is
+    lockstep-active for the full ``peel_rounds(ñ) - 1`` phases, so a
+    round is one bincount of the still-unpeeled neighbours over the edge
+    slab plus one threshold compare — the arboricity orchestration's
+    peeling stage stops paying one Python ``receive`` per node.
+    """
+
+    __slots__ = ("threshold", "phases", "cls", "prev_peeled")
+
+    def __init__(self, bg, threshold, phases):
+        super().__init__(bg)
+        np = batch.numpy_or_none()
+        self.threshold = threshold
+        self.phases = phases
+        self.cls = np.zeros(bg.n, dtype=np.int64)
+        self.prev_peeled = np.zeros(bg.n, dtype=bool)
+
+    def step(self):
+        np = batch.numpy_or_none()
+        bg = self.bg
+        self.round += 1
+        peeled_neighbours = np.bincount(
+            bg.owner[self.prev_peeled[bg.neigh]], minlength=bg.n
+        )
+        alive = bg.degrees - peeled_neighbours
+        fresh = (self.cls == 0) & (alive <= self.threshold)
+        self.cls[fresh] = self.round
+        if self.round < self.phases:
+            self.prev_peeled = self.cls != 0
+            return [], [], self._broadcast()
+        return self.finish([int(c) for c in self.cls.tolist()])
+
+
+def _h_partition_batch_factory():
+    def factory(bg, setup):
+        if batch.numpy_or_none() is None:
+            return None
+        a_guess = max(1, int(setup.guesses["a"]))
+        phases = peel_rounds(setup.guesses["n"]) - 1
+        return HPartitionKernel(bg, PEEL_FACTOR * a_guess, phases)
+
+    return factory
+
+
 def h_partition():
     """The peeling stage as a LOCAL algorithm (requires ã, ñ)."""
     return LocalAlgorithm(
-        name="h-partition", process=HPartitionProcess, requires=("a", "n")
+        name="h-partition",
+        process=HPartitionProcess,
+        requires=("a", "n"),
+        batch=_h_partition_batch_factory(),
     )
 
 

@@ -186,12 +186,23 @@ def row_capabilities(row_id):
     may execute).  Host orchestrations may additionally report
     ``inner_supports_batch`` for the engine they drive internally (see
     ``LineMISMatching.capabilities``).
+
+    The record also carries the row's *pruning* side under ``"pruning"``
+    — the other half of every alternation step ``B_i = (A_i ; P)``,
+    with its own ``kind`` (``"pruning"``), ``rounds`` and
+    ``supports_batch`` — so backend selection covers the pruners
+    explicitly instead of leaving them on the implicit per-node default.
     """
     from ..local.algorithm import capabilities_of
 
-    box = TABLE1[row_id].make_nonuniform().algorithm
+    row = TABLE1[row_id]
+    box = row.make_nonuniform().algorithm
     caps = capabilities_of(box)
     caps["name"] = box.name
+    pruner = row.make_pruning()
+    prune_caps = capabilities_of(pruner)
+    prune_caps["name"] = pruner.name
+    caps["pruning"] = prune_caps
     return caps
 
 
@@ -200,7 +211,8 @@ def capability_table():
 
     Benches and the backend-selection tests consume this instead of
     probing classes with ``isinstance`` — the record travels with the
-    algorithm objects themselves.
+    algorithm objects themselves.  Each row includes its pruner's record
+    under ``"pruning"``.
     """
     return {row_id: row_capabilities(row_id) for row_id in TABLE1}
 

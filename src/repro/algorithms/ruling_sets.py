@@ -25,10 +25,11 @@ from __future__ import annotations
 
 from ..core.bounds import AdditiveBound, custom
 from ..core.transformer import NonUniform
+from ..local import batch
 from ..local.algorithm import LocalAlgorithm, NodeProcess
 from ..local.message import Broadcast
 from ..mathutils import ceil_log2
-from .luby import LubyProcess, _random_priority
+from .luby import LubyProcess, _luby_batch_factory, _random_priority
 
 
 class BitwiseRulingProcess(NodeProcess):
@@ -71,6 +72,66 @@ class BitwiseRulingProcess(NodeProcess):
         return Broadcast(("rb", self.candidate, bit))
 
 
+#: Guess bit-lengths beyond this decline batching (an absurd m̃ would
+#: otherwise spend thousands of column sweeps on a garbage run).
+_BATCH_BITS_LIMIT = 4096
+
+
+class BitwiseRulingKernel(batch.LockstepKernel):
+    """Whole-frontier MSB→LSB candidate filtering as column sweeps.
+
+    The schedule is a pure function of ``bitlen(m̃)`` and every node
+    walks it in lockstep, so the per-round work is one boolean gather
+    over the edge slab: a 1-side candidate drops out when some neighbour
+    was still a candidate last round and shows a 0 bit at the round's
+    index.  Identities may exceed 64 bits (derived-graph encodings), so
+    each round's bit column is peeled with Python big-int arithmetic —
+    lazily, one column per step, since every column is read exactly
+    once.
+    """
+
+    __slots__ = ("bits", "cand", "prev_cand")
+
+    def __init__(self, bg, bits):
+        super().__init__(bg)
+        np = batch.numpy_or_none()
+        self.bits = bits
+        self.cand = np.ones(bg.n, dtype=bool)
+        self.prev_cand = self.cand
+
+    def _column(self):
+        """Everyone's bit at index ``bits - round`` (MSB first)."""
+        np = batch.numpy_or_none()
+        shift = self.bits - self.round
+        return np.array(
+            [(ident >> shift) & 1 for ident in self.bg.idents], dtype=bool
+        )
+
+    def step(self):
+        bg = self.bg
+        self.round += 1
+        column = self._column()
+        zero_rival = self.prev_cand[bg.neigh] & ~column[bg.neigh]
+        blocked = batch.row_flags(bg.owner[zero_rival], bg.n)
+        self.cand = self.cand & ~(column & blocked)
+        if self.round < self.bits:
+            self.prev_cand = self.cand
+            return [], [], self._broadcast()
+        return self.finish([1 if c else 0 for c in self.cand.tolist()])
+
+
+def _bitwise_batch_factory():
+    def factory(bg, setup):
+        if batch.numpy_or_none() is None:
+            return None
+        bits = max(1, int(setup.guesses["m"])).bit_length()
+        if bits > _BATCH_BITS_LIMIT:
+            return None
+        return BitwiseRulingKernel(bg, bits)
+
+    return factory
+
+
 def bitwise_ruling_set():
     """Deterministic (2, bitlen(m̃))-ruling set in bitlen(m̃) rounds.
 
@@ -81,6 +142,7 @@ def bitwise_ruling_set():
         name="bitwise-ruling-set",
         process=BitwiseRulingProcess,
         requires=("m",),
+        batch=_bitwise_batch_factory(),
     )
 
 
@@ -121,6 +183,7 @@ def sw_ruling_set(c):
         process=process,
         requires=("n",),
         randomized=True,
+        batch=_luby_batch_factory(budget_of=lambda g: sw_phases(c, g["n"])),
     )
 
 

@@ -20,12 +20,23 @@ render Figure 1's schematic via :func:`render_trace`.
 
 from __future__ import annotations
 
+from time import perf_counter
+
 from ..errors import ReproError
+from ..local.runner import last_stepping, note_stepping
 from .domain import as_domain
 
 
 class StepRecord:
-    """One ``A_i ; P`` step of an alternation."""
+    """One ``A_i ; P`` step of an alternation.
+
+    ``backends`` attributes the step's two runs to their stepping
+    strategy — ``(algorithm, pruning)``, each ``"batch"``,
+    ``"per-node"`` or ``"reference"`` (host orchestrations report the
+    stepping of their last inner run; ``None`` when nothing executed).
+    ``seconds`` is the step's wall clock, so traces and benches can
+    attribute time per step and per backend.
+    """
 
     __slots__ = (
         "label",
@@ -36,10 +47,22 @@ class StepRecord:
         "charged",
         "nodes_before",
         "pruned",
+        "backends",
+        "seconds",
     )
 
     def __init__(
-        self, label, iteration, index, guesses, budget, charged, nodes_before, pruned
+        self,
+        label,
+        iteration,
+        index,
+        guesses,
+        budget,
+        charged,
+        nodes_before,
+        pruned,
+        backends=(None, None),
+        seconds=None,
     ):
         self.label = label
         self.iteration = iteration
@@ -49,6 +72,8 @@ class StepRecord:
         self.charged = charged
         self.nodes_before = nodes_before
         self.pruned = pruned
+        self.backends = backends
+        self.seconds = seconds
 
     @property
     def nodes_after(self):
@@ -90,6 +115,26 @@ class TransformResult:
     @property
     def iterations(self):
         return max((s.iteration for s in self.steps), default=0)
+
+    def backend_summary(self):
+        """Wall clock and step counts grouped by executing backend.
+
+        Returns ``{"algo|prune": {"steps": k, "seconds": s}}`` over the
+        recorded :class:`StepRecord` backends — what the throughput
+        bench prints to show where an alternation's time actually went
+        (e.g. batch guess runs stuck with per-node pruning).
+        """
+        summary = {}
+        for step in self.steps:
+            algo, prune = step.backends or (None, None)
+            key = f"{algo or '?'}|{prune or '?'}"
+            entry = summary.setdefault(key, {"steps": 0, "seconds": 0.0})
+            entry["steps"] += 1
+            if step.seconds is not None:
+                entry["seconds"] += step.seconds
+        for entry in summary.values():
+            entry["seconds"] = round(entry["seconds"], 6)
+        return summary
 
     def __repr__(self):
         return (
@@ -133,8 +178,12 @@ class AlternatingEngine:
         if self.done:
             return 0
         salt = f"{label}|{iteration}|{index}"
+        started = perf_counter()
+        note_stepping(None)
         tentative, charged = runner(self.domain, self.inputs, salt)
+        algo_backend = last_stepping()
         self.rounds += charged
+        note_stepping(None)
         prune = self.pruning.apply(
             self.domain,
             self.inputs,
@@ -142,6 +191,7 @@ class AlternatingEngine:
             seed=self.seed,
             salt=f"{salt}|prune",
         )
+        prune_backend = last_stepping()
         self.rounds += prune.rounds
         for u in prune.pruned:
             self.outputs[u] = tentative[u]
@@ -154,6 +204,8 @@ class AlternatingEngine:
             charged=charged + prune.rounds,
             nodes_before=self.domain.n,
             pruned=len(prune.pruned),
+            backends=(algo_backend, prune_backend),
+            seconds=perf_counter() - started,
         )
         self.steps.append(record)
         pruned = prune.pruned
@@ -234,10 +286,14 @@ def render_trace(result, *, max_steps=40):
             ",".join(f"{k}={v}" for k, v in sorted(step.guesses.items()))
             or "uniform"
         )
+        algo_backend, prune_backend = step.backends or (None, None)
+        via = ""
+        if algo_backend or prune_backend:
+            via = f" via {algo_backend or '?'}/{prune_backend or '?'}"
         lines.append(
             f"  | B(i={step.iteration},j={step.index}): "
             f"A={step.label} [{guess_text}] restricted to {step.budget} "
-            f"rounds ; P prunes {step.pruned}/{step.nodes_before}"
+            f"rounds ; P prunes {step.pruned}/{step.nodes_before}{via}"
         )
         lines.append(
             f"  v (G,x) with {step.nodes_after} node(s), "

@@ -247,6 +247,9 @@ class VirtualDomain(Domain):
                 default_output=default_output,
             )
             if outputs is not None:
+                from ..local.runner import note_stepping
+
+                note_stepping("batch")
                 return outputs, physical_budget
         wrapped = virtualize(
             self.spec, algorithm, virt_inputs=inputs or {}, engine=backend

@@ -28,11 +28,22 @@ Monotonicity (Observation 3.1): the first two leave inputs untouched and
 are therefore monotone for every non-decreasing parameter; SLC pruning
 keeps the degree estimate ``Δ̂`` and is monotone for all non-decreasing
 *graph* parameters.
+
+Batched execution (DESIGN.md D11): every pruner here registers a batch
+kernel on the :class:`~repro.local.algorithm.LocalAlgorithm` it builds,
+so an alternation's pruning runs ride the same whole-frontier numpy
+path as the guess runs — on physical domains through the compiled
+engine's dispatcher, on virtual domains through
+:func:`repro.local.virtual.run_virtual_batch`.  The kernels are
+bit-identical to the per-node state machines, including the
+``PruneResult.new_inputs`` materialization of :class:`SLCPruning` (the
+one pruner that rewrites inputs).
 """
 
 from __future__ import annotations
 
-from ..local.algorithm import LocalAlgorithm, NodeProcess
+from ..local import batch
+from ..local.algorithm import LocalAlgorithm, NodeProcess, capabilities_of
 from ..local.message import Broadcast
 from ..problems.coloring import SLC, SLCInput
 from ..problems.matching import MAXIMAL_MATCHING
@@ -41,6 +52,10 @@ from ..problems.ruling import RulingSetProblem
 
 #: Sentinel output for nodes kept in the instance with unchanged input.
 KEEP = ("keep", None)
+
+#: Sentinel output for pruned nodes (fresh tuples compare equal; sharing
+#: one object keeps the batch kernels allocation-free on the hot path).
+PRUNE = ("prune", None)
 
 #: Shared broadcast payloads of the ruling-set pruner (tuples are
 #: immutable, so every node can broadcast the same object).
@@ -81,6 +96,33 @@ class PruningAlgorithm:
         Outputs ``("prune", None)`` or ``("keep", new_x)``.
         """
         raise NotImplementedError
+
+    def capabilities(self):
+        """Capability record, same shape as the algorithm registry rows.
+
+        ``kind`` is ``"pruning"``; ``supports_batch``/``domains`` are
+        inherited from the LOCAL algorithm the pruner compiles to, so
+        :func:`repro.local.algorithm.capabilities_of` covers pruners the
+        same way it covers the guess algorithms (the registry's
+        ``capability_table`` republishes these per Table-1 row).
+        Subclasses without a concrete ``algorithm`` (e.g. wrappers that
+        only override ``apply``) report a conservative default.
+        """
+        caps = {
+            "kind": "pruning",
+            "rounds": self.rounds,
+            "supports_batch": False,
+            "domains": LocalAlgorithm.domains,
+            "randomized": False,
+            "uniform": True,
+        }
+        try:
+            inner = capabilities_of(self.algorithm())
+        except NotImplementedError:
+            return caps
+        caps["supports_batch"] = inner.get("supports_batch", False)
+        caps["domains"] = inner.get("domains", caps["domains"])
+        return caps
 
     def apply(self, domain, inputs, tentative, *, seed=0, salt="prune"):
         """Run the pruner on a domain; returns a :class:`PruneResult`.
@@ -163,6 +205,92 @@ class _RulingSetPruneProcess(NodeProcess):
         return None
 
 
+def _tentative_of(inputs, labels, default):
+    """Per-node ŷ column from the pruner's ``(x, ŷ)`` pair inputs.
+
+    Mirrors the per-node unpacking exactly: a falsy input (a node the
+    pair map missed) contributes ``default``.
+    """
+    out = []
+    for label in labels:
+        value = inputs.get(label)
+        out.append(value[1] if value else default)
+    return out
+
+
+def _value_codes(values):
+    """Dense integer codes preserving ``==`` over arbitrary values.
+
+    The matching and SLC pruners compare tentative outputs for
+    *equality* only, so any hashable payloads vectorize as int64 codes.
+    Returns ``None`` for unhashable values — the factory then declines
+    and the run steps per node (where raw ``==`` needs no hashing).
+    """
+    codes = {}
+    out = []
+    try:
+        for value in values:
+            out.append(codes.setdefault(value, len(codes)))
+    except TypeError:
+        return None
+    return out
+
+
+class RulingSetPruneKernel(batch.LockstepKernel):
+    """Whole-frontier ``P_(2,β)``: flag reductions over the edge slab.
+
+    Mirrors :class:`_RulingSetPruneProcess` round for round: one
+    ŷ-exchange round computing the center set (in-set nodes with no
+    in-set neighbour), then β flooding rounds OR-ing the center flags
+    outward one hop at a time.  All nodes are lockstep-active for the
+    full ``1 + β`` rounds, so a round is two boolean gathers and one
+    scatter — no per-node dispatch.
+    """
+
+    __slots__ = ("beta", "y_in", "center", "center_near", "prev_flag")
+
+    def __init__(self, bg, inputs, beta):
+        super().__init__(bg)
+        np = batch.numpy_or_none()
+        self.beta = beta
+        self.y_in = np.array(
+            [in_set(y) for y in _tentative_of(inputs, bg.labels, 0)],
+            dtype=bool,
+        )
+        self.center = None
+        self.center_near = None
+        self.prev_flag = None
+
+    def step(self):
+        np = batch.numpy_or_none()
+        bg = self.bg
+        self.round += 1
+        r = self.round
+        if r == 1:
+            rival = self.y_in[bg.owner] & self.y_in[bg.neigh]
+            beaten = batch.row_flags(bg.owner[rival], bg.n)
+            self.center = self.y_in & ~beaten
+            self.center_near = np.zeros(bg.n, dtype=bool)
+            self.prev_flag = self.center
+            return [], [], self._broadcast()
+        heard = self.prev_flag[bg.neigh]
+        self.center_near |= batch.row_flags(bg.owner[heard], bg.n)
+        if r < self.beta + 1:
+            self.prev_flag = self.center | self.center_near
+            return [], [], self._broadcast()
+        pruned = self.center | (~self.y_in & self.center_near)
+        return self.finish([PRUNE if p else KEEP for p in pruned.tolist()])
+
+
+def _ruling_prune_batch_factory(beta):
+    def factory(bg, setup):
+        if batch.numpy_or_none() is None:
+            return None
+        return RulingSetPruneKernel(bg, setup.inputs, beta)
+
+    return factory
+
+
 class RulingSetPruning(PruningAlgorithm):
     """The paper's ``P_(2,β)``: prunes confirmed rulers and their β-balls.
 
@@ -185,6 +313,7 @@ class RulingSetPruning(PruningAlgorithm):
         return LocalAlgorithm(
             name=self.name,
             process=lambda ctx: _RulingSetPruneProcess(ctx, beta),
+            batch=_ruling_prune_batch_factory(beta),
         )
 
 
@@ -254,6 +383,65 @@ class _MatchingPruneProcess(NodeProcess):
         return None
 
 
+class MatchingPruneKernel(batch.LockstepKernel):
+    """Whole-frontier ``P_MM`` over equality codes of the ŷ values.
+
+    The 3-round per-node scan only ever compares tentative outputs for
+    equality, so the arbitrary ``("M", u, v)`` / ``("U", v)`` / default
+    payloads collapse to int64 codes: round 1 computes each node's
+    same-value neighbour count (one bincount over the equal-endpoint
+    edges), round 2 evaluates the paper's matched condition edge-wise
+    (``cnt`` both sides zero after excluding the shared edge), round 3
+    reduces the saturation test ``all neighbours matched``.
+    """
+
+    __slots__ = ("y", "same_count", "eq", "matched")
+
+    def __init__(self, bg, codes):
+        super().__init__(bg)
+        np = batch.numpy_or_none()
+        self.y = np.asarray(codes, dtype=np.int64)
+        self.same_count = None
+        self.eq = None
+        self.matched = None
+
+    def step(self):
+        np = batch.numpy_or_none()
+        bg = self.bg
+        own, nb = bg.owner, bg.neigh
+        self.round += 1
+        r = self.round
+        if r == 1:
+            self.eq = self.y[own] == self.y[nb]
+            self.same_count = np.bincount(own[self.eq], minlength=bg.n)
+            # cnt(v) per neighbour is sent as targeted messages — one per
+            # port, which is exactly one payload per edge slot.
+            return [], [], self._broadcast()
+        if r == 2:
+            excluded = self.eq.astype(np.int64)
+            their_count = self.same_count[nb] - excluded
+            my_count = self.same_count[own] - excluded
+            hit = self.eq & (their_count == 0) & (my_count == 0)
+            self.matched = batch.row_flags(own[hit], bg.n)
+            return [], [], self._broadcast()
+        matched_neighbours = np.bincount(own[self.matched[nb]], minlength=bg.n)
+        all_matched = matched_neighbours == bg.degrees
+        pruned = self.matched | all_matched
+        return self.finish([PRUNE if p else KEEP for p in pruned.tolist()])
+
+
+def _matching_prune_batch_factory():
+    def factory(bg, setup):
+        if batch.numpy_or_none() is None:
+            return None
+        codes = _value_codes(_tentative_of(setup.inputs, bg.labels, None))
+        if codes is None:
+            return None
+        return MatchingPruneKernel(bg, codes)
+
+    return factory
+
+
 class MatchingPruning(PruningAlgorithm):
     """The paper's ``P_MM``: prunes matched nodes and saturated nodes.
 
@@ -268,7 +456,9 @@ class MatchingPruning(PruningAlgorithm):
 
     def algorithm(self):
         return LocalAlgorithm(
-            name=self.name, process=_MatchingPruneProcess
+            name=self.name,
+            process=_MatchingPruneProcess,
+            batch=_matching_prune_batch_factory(),
         )
 
 
@@ -324,6 +514,84 @@ class _SLCPruneProcess(NodeProcess):
         return None
 
 
+class SLCPruneKernel(batch.LockstepKernel):
+    """Whole-frontier ``P_SLC`` with identical input-rewrite semantics.
+
+    Round 1 vectorizes the conflict test (equal tentative pairs across an
+    edge, via the same code trick as the matching kernel) and the
+    in-list check; round 2 materializes the survivors' outputs.  The
+    list subtraction stays at the Python level — ``ColorList.without``
+    takes a *set* of pairs, so collecting each survivor's ok-neighbour
+    pairs through one slab slice reproduces the per-node
+    ``SLCInput(Δ̂, L \\ used, base)`` object exactly (``removed`` is a
+    frozenset: delivery order cannot leak into the result, which is what
+    makes the D11 new-inputs contract satisfiable at all).
+    """
+
+    __slots__ = ("xs", "ys", "codes", "ok")
+
+    def __init__(self, bg, xs, ys, codes):
+        super().__init__(bg)
+        np = batch.numpy_or_none()
+        self.xs = xs
+        self.ys = ys
+        self.codes = np.asarray(codes, dtype=np.int64)
+        self.ok = None
+
+    def step(self):
+        bg = self.bg
+        self.round += 1
+        if self.round == 1:
+            own, nb = bg.owner, bg.neigh
+            clash = self.codes[own] == self.codes[nb]
+            conflicted = batch.row_flags(own[clash], bg.n)
+            np = batch.numpy_or_none()
+            in_list = np.array(
+                [
+                    isinstance(x, SLCInput) and y in x.colors
+                    for x, y in zip(self.xs, self.ys)
+                ],
+                dtype=bool,
+            )
+            self.ok = in_list & ~conflicted
+            return [], [], self._broadcast()
+        offsets, neigh = bg.offsets, bg.neigh
+        ok = self.ok
+        ys = self.ys
+        results = []
+        for i, pruned in enumerate(ok.tolist()):
+            if pruned:
+                results.append(PRUNE)
+                continue
+            x = self.xs[i]
+            if isinstance(x, SLCInput):
+                row = neigh[offsets[i] : offsets[i + 1]]
+                used = [ys[j] for j in row[ok[row]].tolist()]
+                x = SLCInput(x.delta_hat, x.colors.without(used), x.base_color)
+            results.append(("keep", x))
+        return self.finish(results)
+
+
+def _slc_prune_batch_factory():
+    def factory(bg, setup):
+        if batch.numpy_or_none() is None:
+            return None
+        inputs = setup.inputs
+        xs = []
+        ys = []
+        for label in bg.labels:
+            value = inputs.get(label)
+            x, y = value if value else (None, None)
+            xs.append(x)
+            ys.append(y)
+        codes = _value_codes(ys)
+        if codes is None:
+            return None
+        return SLCPruneKernel(bg, xs, ys, codes)
+
+    return factory
+
+
 class SLCPruning(PruningAlgorithm):
     """Pruner for strong list coloring (Theorem 5's proof).
 
@@ -341,4 +609,8 @@ class SLCPruning(PruningAlgorithm):
     monotone = "all non-decreasing graph parameters (Δ̂ is kept)"
 
     def algorithm(self):
-        return LocalAlgorithm(name=self.name, process=_SLCPruneProcess)
+        return LocalAlgorithm(
+            name=self.name,
+            process=_SLCPruneProcess,
+            batch=_slc_prune_batch_factory(),
+        )

@@ -253,22 +253,61 @@ def row_flags(owner_hits, n):
     return flags
 
 
+class LockstepKernel:
+    """Base for kernels whose nodes all run the full fixed schedule.
+
+    The pruners, the bitwise ruling cascade and the H-partition peeling
+    keep *every* node active until the final round and broadcast one
+    payload per edge slot per round, so their bookkeeping is identical:
+    ``undone_indices`` is always the whole column, each non-final round
+    charges ``degrees.sum()`` messages, and the final round reports all
+    results with :meth:`finish`.  Subclasses keep only their own state
+    in ``__slots__`` and implement ``step()``.
+    """
+
+    __slots__ = ("bg", "round", "done")
+
+    def __init__(self, bg):
+        self.bg = bg
+        self.round = 0
+        self.done = False
+
+    def undone_indices(self):
+        return list(range(self.bg.n))
+
+    def _broadcast(self):
+        return int(self.bg.degrees.sum())
+
+    def start(self):
+        return [], [], self._broadcast()
+
+    def finish(self, results):
+        """Mark the run done and report every node's result."""
+        self.done = True
+        return list(range(self.bg.n)), results, 0
+
+
 def make_engine_kernel(
     algorithm, cg, *, inputs, guesses, seed, salt, rng_mode, track_bits, enabled
 ):
     """Build the run's batch kernel, or ``None`` to step per node.
 
-    Fallback rules (DESIGN.md D10): no registered factory, batching
-    disabled, numpy missing, message-size tracking requested (payload
-    bits are a property of the materialized tuples the batch path never
-    builds), an empty graph, or the factory itself declining the
-    configuration (e.g. palette bounds it cannot represent).
+    Fallback rules (DESIGN.md D10): no advertised batch capability,
+    batching disabled, numpy missing, message-size tracking requested
+    (payload bits are a property of the materialized tuples the batch
+    path never builds), an empty graph, or the factory itself declining
+    the configuration (e.g. palette bounds it cannot represent).
+    Eligibility is read off the algorithm's capability record
+    (``supports_batch``), the same table the registry and the
+    transformers dispatch on — not off the concrete class.
     """
     if not enabled or track_bits or _np is None or cg.n == 0:
         return None
-    factory = getattr(algorithm, "batch", None)
-    if factory is None:
+    from .algorithm import capabilities_of
+
+    if not capabilities_of(algorithm).get("supports_batch"):
         return None
+    factory = algorithm.batch
     bg = batch_graph_of(cg)
     setup = BatchSetup(
         inputs, guesses, rng_mode, _engine_draw_builder(bg, rng_mode, seed, salt)

@@ -275,6 +275,8 @@ def run_compiled(
     frontier is stepped per round through :func:`run_batch` instead of
     dispatching per node.
     """
+    from .runner import note_stepping
+
     cg = graph.compiled()
     if use_batch:
         kernel = make_engine_kernel(
@@ -289,6 +291,7 @@ def run_compiled(
             enabled=True,
         )
         if kernel is not None:
+            note_stepping("batch")
             return run_batch(
                 kernel,
                 cg,
@@ -298,6 +301,7 @@ def run_compiled(
                 default_output=default_output,
                 result_cls=result_cls,
             )
+    note_stepping("per-node")
     n = cg.n
     labels = cg.labels
     idents = cg.idents

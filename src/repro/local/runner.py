@@ -71,6 +71,27 @@ BATCH_ENABLED = os.environ.get("REPRO_BATCH", "1").lower() not in (
 )
 
 
+#: Stepping strategy of the most recent run in this process
+#: (``"batch"``, ``"per-node"`` or ``"reference"``); ``None`` before the
+#: first run.  The alternation engine samples this right after each
+#: guess/pruning run to attribute wall clock per step (StepRecord
+#: backends) — a diagnostic channel, deliberately kept out of
+#: :class:`RunResult` so the backend equivalence contract stays
+#: field-for-field.
+_LAST_STEPPING = None
+
+
+def note_stepping(kind):
+    """Record the stepping strategy that executed the latest run."""
+    global _LAST_STEPPING
+    _LAST_STEPPING = kind
+
+
+def last_stepping():
+    """Stepping strategy of the most recent run (``None`` if none ran)."""
+    return _LAST_STEPPING
+
+
 def set_batch_enabled(enabled):
     """Toggle the batched execution path; returns the previous value."""
     global BATCH_ENABLED
@@ -322,6 +343,7 @@ def _run_reference(
     Kept verbatim from the seed implementation (modulo the pluggable rng
     scheme) as the oracle for the compiled engine's equivalence suite.
     """
+    note_stepping("reference")
     make_gen = rng_source(rng_mode, seed, salt)
     processes = {}
     for u in graph.nodes:

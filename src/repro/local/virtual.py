@@ -650,9 +650,11 @@ def run_virtual_batch(
     """
     if not batch_available() or not spec.adj:
         return None
-    factory = getattr(algorithm, "batch", None)
-    if factory is None:
+    from .algorithm import capabilities_of
+
+    if not capabilities_of(algorithm).get("supports_batch"):
         return None
+    factory = algorithm.batch
     guesses = dict(guesses or {})
     missing = [p for p in algorithm.requires if p not in guesses]
     if missing:

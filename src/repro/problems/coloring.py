@@ -125,6 +125,22 @@ class ColorList:
         """New list with additional pairs removed."""
         return ColorList(self.width, self.copies, self.removed | set(pairs))
 
+    def __eq__(self, other):
+        """Structural equality — the SLC pruning equivalence contract
+        (DESIGN.md D11) compares rewritten inputs across backends, and
+        ``removed`` being a frozenset makes the comparison independent
+        of the order removals were collected in."""
+        if not isinstance(other, ColorList):
+            return NotImplemented
+        return (
+            self.width == other.width
+            and self.copies == other.copies
+            and self.removed == other.removed
+        )
+
+    def __hash__(self):
+        return hash((self.width, self.copies, self.removed))
+
     def __repr__(self):
         return (
             f"ColorList(width={self.width}, copies={self.copies}, "
@@ -142,6 +158,18 @@ class SLCInput:
         self.colors = colors
         #: initial color (identities qualify; Section 5.2's "m as colors")
         self.base_color = base_color
+
+    def __eq__(self, other):
+        if not isinstance(other, SLCInput):
+            return NotImplemented
+        return (
+            self.delta_hat == other.delta_hat
+            and self.colors == other.colors
+            and self.base_color == other.base_color
+        )
+
+    def __hash__(self):
+        return hash((self.delta_hat, self.colors, self.base_color))
 
     def __repr__(self):
         return f"SLCInput(Δ̂={self.delta_hat}, {self.colors!r})"

@@ -10,9 +10,17 @@ from __future__ import annotations
 import pytest
 
 from repro.algorithms import TABLE1, capability_table
+from repro.algorithms.arboricity import h_partition
 from repro.algorithms.fast_mis import fast_mis
 from repro.algorithms.luby import luby_mis
-from repro.core.domain import VirtualDomain
+from repro.algorithms.ruling_sets import bitwise_ruling_set
+from repro.core.domain import PhysicalDomain, VirtualDomain
+from repro.core.pruning import (
+    MatchingPruning,
+    RulingSetPruning,
+    SLCPruning,
+    mis_pruning,
+)
 from repro.graphs import line_graph_spec
 from repro.local import CounterRNG, run, use_batch
 from repro.local import batch as batch_module
@@ -94,6 +102,40 @@ class TestFallbackWithoutNumpy:
         with pytest.raises(ParameterError):
             CounterRNG.random_batch([1, 2], 1)
 
+    def test_new_kernels_fall_back(self, small_gnp, monkeypatch):
+        """Bitwise ruling and H-partition run green without numpy."""
+        jobs = (
+            (bitwise_ruling_set(), {"m": small_gnp.max_ident}),
+            (h_partition(), {"a": 2, "n": small_gnp.n}),
+        )
+        expected = []
+        with use_batch(False):
+            for algo, guesses in jobs:
+                expected.append(run(small_gnp, algo, seed=3, guesses=guesses))
+        monkeypatch.setattr(batch_module, "_np", None)
+        for (algo, guesses), want in zip(jobs, expected):
+            got = run(small_gnp, algo, seed=3, guesses=guesses, backend="batch")
+            assert got.outputs == want.outputs
+            assert got.rounds == want.rounds
+            assert got.messages == want.messages
+
+    def test_pruner_kernels_fall_back(self, small_gnp, monkeypatch):
+        """Pruning applications run green (and identically) without numpy."""
+        tentative = {u: small_gnp.ident[u] % 2 for u in small_gnp.nodes}
+        pruners = (mis_pruning(), MatchingPruning())
+        expected = []
+        with use_batch(False):
+            for pruner in pruners:
+                expected.append(
+                    pruner.apply(PhysicalDomain(small_gnp), {}, tentative)
+                )
+        monkeypatch.setattr(batch_module, "_np", None)
+        for pruner, want in zip(pruners, expected):
+            got = pruner.apply(PhysicalDomain(small_gnp), {}, tentative)
+            assert got.pruned == want.pruned
+            assert got.new_inputs == want.new_inputs
+            assert got.rounds == want.rounds
+
 
 class TestCapabilities:
     def test_local_algorithm_records(self):
@@ -112,11 +154,40 @@ class TestCapabilities:
         assert table["mis-fast"]["supports_batch"] is True
         assert table["mis-nonly"]["supports_batch"] is True
         assert table["luby"]["supports_batch"] is True
+        assert table["ruling-c1"]["supports_batch"] is True
         assert table["matching"]["kind"] == "host"
         assert table["matching"]["inner_supports_batch"] is True
         assert table["mis-arb-product"]["kind"] == "host"
         for caps in table.values():
             assert caps["domains"]
+
+    def test_registry_table_covers_pruners(self):
+        """Every row republishes its pruner's capability record."""
+        table = capability_table()
+        for row_id, caps in table.items():
+            prune_caps = caps["pruning"]
+            assert prune_caps["kind"] == "pruning", row_id
+            assert prune_caps["supports_batch"] is True, row_id
+            assert prune_caps["rounds"] >= 1, row_id
+            assert prune_caps["name"], row_id
+
+    def test_pruner_capability_records(self):
+        caps = capabilities_of(RulingSetPruning(beta=3))
+        assert caps["kind"] == "pruning"
+        assert caps["rounds"] == 4
+        assert caps["supports_batch"] is True
+        assert capabilities_of(MatchingPruning())["supports_batch"] is True
+        assert capabilities_of(SLCPruning())["supports_batch"] is True
+
+        class ApplyOnly(RulingSetPruning):
+            """Wrapper overriding apply() without a concrete algorithm."""
+
+            def algorithm(self):
+                raise NotImplementedError
+
+        conservative = capabilities_of(ApplyOnly())
+        assert conservative["kind"] == "pruning"
+        assert conservative["supports_batch"] is False
 
     def test_runner_rejects_non_node_kinds(self, small_gnp):
         with pytest.raises(TypeError):

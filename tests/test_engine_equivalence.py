@@ -10,15 +10,21 @@ the incremental restriction paths against their rebuild specifications.
 
 from __future__ import annotations
 
+import random
+
 import pytest
 
 from repro.algorithms import TABLE1
+from repro.algorithms.arboricity import h_partition
 from repro.algorithms.fast_coloring import fast_coloring
 from repro.algorithms.fast_mis import fast_mis
+from repro.algorithms.greedy import greedy_coloring, greedy_matching
 from repro.algorithms.hash_luby import hash_luby_mis
 from repro.algorithms.luby import luby_mc, luby_mis
+from repro.algorithms.ruling_sets import bitwise_ruling_set, sw_ruling_set
 from repro.bench import WORKLOADS, build_graph
 from repro.core.domain import PhysicalDomain, VirtualDomain
+from repro.core.pruning import MatchingPruning, RulingSetPruning, SLCPruning
 from repro.errors import NonTerminationError
 from repro.graphs import clique_product_spec, line_graph_spec
 from repro.local import (
@@ -30,7 +36,7 @@ from repro.local import (
     use_backend,
     use_batch,
 )
-from repro.problems import MIS
+from repro.problems import MIS, ColorList, SLCInput
 
 BACKENDS = ("reference", "compiled")
 RNGS = ("mt", "counter")
@@ -248,6 +254,11 @@ def kernel_algorithms(graph):
         ("fast-mis", fast_mis(), good),
         ("fast-coloring-bad-guess", fast_coloring(), bad),
         ("fast-mis-bad-guess", fast_mis(), bad),
+        ("bitwise-ruling", bitwise_ruling_set(), {"m": graph.max_ident}),
+        ("bitwise-ruling-bad-guess", bitwise_ruling_set(), {"m": 5}),
+        ("sw-ruling-c1", sw_ruling_set(1), {"n": graph.n}),
+        ("h-partition", h_partition(), {"a": 2, "n": graph.n}),
+        ("h-partition-bad-guess", h_partition(), {"a": 1, "n": 3}),
     ]
 
 
@@ -353,6 +364,193 @@ class TestBatchEquivalence:
         assert results[False].outputs == results[True].outputs
         assert results[False].rounds == results[True].rounds
         assert len(results[False].steps) == len(results[True].steps)
+
+
+def assert_prune_results_equal(a, b, context=""):
+    assert a.pruned == b.pruned, ("pruned", context)
+    assert a.new_inputs == b.new_inputs, ("new_inputs", context)
+    assert a.rounds == b.rounds, ("rounds", context)
+
+
+def apply_both(pruner, domain_factory, inputs, tentative, seed=3):
+    """One per-node pruning application, one batched, same config."""
+    with use_batch(False):
+        pernode = pruner.apply(
+            domain_factory(), inputs, tentative, seed=seed, salt="eq"
+        )
+    batched = pruner.apply(
+        domain_factory(), inputs, tentative, seed=seed, salt="eq"
+    )
+    return pernode, batched
+
+
+def slc_instance(graph, rng):
+    delta_hat = graph.max_degree
+    width = 2 * (delta_hat + 1)
+    inputs = {
+        u: SLCInput(delta_hat, ColorList(width, delta_hat + 1))
+        for u in graph.nodes
+    }
+    colors = greedy_coloring(graph)
+    tentative = {
+        u: (colors[u], 1) if rng.random() < 0.5 else 0 for u in graph.nodes
+    }
+    return inputs, tentative
+
+
+class TestPrunerBatchEquivalence:
+    """Batch-vs-per-node bit identity for the pruner kernels (D11)."""
+
+    @pytest.mark.parametrize("beta", (1, 2, 4))
+    @pytest.mark.parametrize("seed", (0, 1))
+    def test_ruling_set_pruning(self, small_gnp, beta, seed):
+        rng = random.Random(seed)
+        tentative = {u: rng.choice([0, 1]) for u in small_gnp.nodes}
+        pernode, batched = apply_both(
+            RulingSetPruning(beta),
+            lambda: PhysicalDomain(small_gnp),
+            {},
+            tentative,
+        )
+        assert_prune_results_equal(pernode, batched, (beta, seed))
+
+    @pytest.mark.parametrize("seed", (0, 1, 2))
+    def test_matching_pruning(self, small_gnp, seed):
+        rng = random.Random(seed)
+        base = greedy_matching(small_gnp)
+        tentative = {}
+        for u in small_gnp.nodes:
+            roll = rng.random()
+            if roll < 0.5:
+                tentative[u] = base[u]
+            elif roll < 0.8:
+                tentative[u] = ("U", small_gnp.ident[u])
+            else:
+                tentative[u] = 0  # truncation default
+        pernode, batched = apply_both(
+            MatchingPruning(), lambda: PhysicalDomain(small_gnp), {}, tentative
+        )
+        assert_prune_results_equal(pernode, batched, seed)
+
+    @pytest.mark.parametrize("seed", (0, 1, 2))
+    def test_slc_pruning_rewrites_inputs_identically(self, small_gnp, seed):
+        inputs, tentative = slc_instance(small_gnp, random.Random(seed))
+        pernode, batched = apply_both(
+            SLCPruning(), lambda: PhysicalDomain(small_gnp), inputs, tentative
+        )
+        assert_prune_results_equal(pernode, batched, seed)
+        survivors = set(small_gnp.nodes) - pernode.pruned
+        rewritten = [
+            u
+            for u in survivors
+            if pernode.new_inputs[u].colors.removed
+        ]
+        assert rewritten  # the rewrite actually bit
+        for u in rewritten:
+            assert (
+                batched.new_inputs[u].colors.removed
+                == pernode.new_inputs[u].colors.removed
+            )
+
+    def test_restricted_domain_survivors(self, medium_gnp):
+        """Pruner kernels on an incrementally restricted SimGraph."""
+        keep = [u for u in medium_gnp.nodes if medium_gnp.ident[u] % 3]
+        sub = PhysicalDomain(medium_gnp).subgraph(keep)
+        rng = random.Random(7)
+        tentative = {u: rng.choice([0, 1]) for u in sub.nodes}
+        pernode, batched = apply_both(
+            RulingSetPruning(2), lambda: sub, {}, tentative
+        )
+        assert_prune_results_equal(pernode, batched)
+        inputs, slc_tent = slc_instance(sub.as_simgraph(), random.Random(9))
+        pernode, batched = apply_both(
+            SLCPruning(), lambda: sub, inputs, slc_tent
+        )
+        assert_prune_results_equal(pernode, batched)
+
+    def test_virtual_domain_pruning(self, small_gnp):
+        """Pruner kernels through the virtual batch driver (line graph)."""
+        spec = line_graph_spec(small_gnp)
+        rng = random.Random(11)
+        mis_bits = {v: rng.choice([0, 1]) for v in spec.virtual_nodes}
+        matching = {
+            v: ("M",) + tuple(sorted(spec.ident[w] for w in (v,)))
+            if mis_bits[v]
+            else ("U", spec.ident[v])
+            for v in spec.virtual_nodes
+        }
+        for pruner, tentative in (
+            (RulingSetPruning(1), mis_bits),
+            (MatchingPruning(), matching),
+        ):
+            pernode, batched = apply_both(
+                pruner, lambda: VirtualDomain(small_gnp, spec), {}, tentative
+            )
+            assert_prune_results_equal(pernode, batched, pruner.name)
+
+    def test_restricted_spec_survivors(self, small_gnp):
+        """Pruner kernels on an incrementally restricted VirtualSpec."""
+        spec = line_graph_spec(small_gnp)
+        keep = set(list(spec.virtual_nodes)[::2])
+        sub = VirtualDomain(small_gnp, spec).subgraph(keep)
+        rng = random.Random(13)
+        tentative = {v: rng.choice([0, 1]) for v in sub.nodes}
+        pernode, batched = apply_both(
+            RulingSetPruning(1), lambda: sub, {}, tentative
+        )
+        assert_prune_results_equal(pernode, batched)
+
+    def test_unhashable_values_fall_back(self, small_gnp):
+        """Unencodable ŷ values decline batching but stay correct."""
+        tentative = {u: ["unhashable", u] for u in small_gnp.nodes}
+        pernode, batched = apply_both(
+            MatchingPruning(), lambda: PhysicalDomain(small_gnp), {}, tentative
+        )
+        assert_prune_results_equal(pernode, batched)
+
+    def test_pruner_runs_as_plain_algorithm(self, small_gnp):
+        """The pruner's LocalAlgorithm itself satisfies the D10 contract."""
+        rng = random.Random(3)
+        pair_inputs = {
+            u: (None, rng.choice([0, 1])) for u in small_gnp.nodes
+        }
+        for pruner in (RulingSetPruning(2), MatchingPruning()):
+            algo = pruner.algorithm()
+            with use_batch(False):
+                pernode = run_restricted(
+                    small_gnp, algo, pruner.rounds, default_output=("keep", None),
+                    inputs=pair_inputs, backend="compiled", rng="counter",
+                )
+            batched = run_restricted(
+                small_gnp, algo, pruner.rounds, default_output=("keep", None),
+                inputs=pair_inputs, backend="batch", rng="counter",
+            )
+            assert_results_equal(pernode, batched, context=pruner.name)
+
+    def test_alternation_records_backends(self, small_gnp):
+        """StepRecords attribute both runs of a step to their backend."""
+        with use_backend("compiled", rng="counter"), use_batch(True):
+            _, _, uniform = TABLE1["luby"].build()
+            result = uniform.run(small_gnp, seed=13)
+        assert result.steps
+        for step in result.steps:
+            assert step.backends == ("batch", "batch")
+            assert step.seconds is not None and step.seconds >= 0
+        summary = result.backend_summary()
+        assert summary == {
+            "batch|batch": {
+                "steps": len(result.steps),
+                "seconds": summary["batch|batch"]["seconds"],
+            }
+        }
+        with use_backend("compiled", rng="counter"), use_batch(False):
+            _, _, uniform = TABLE1["luby"].build()
+            pernode = uniform.run(small_gnp, seed=13)
+        assert all(
+            step.backends == ("per-node", "per-node") for step in pernode.steps
+        )
+        assert pernode.outputs == result.outputs
+        assert pernode.rounds == result.rounds
 
 
 def spec_signature(spec):
