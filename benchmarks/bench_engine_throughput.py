@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 import time
@@ -248,6 +249,74 @@ def unit_virtual_linegraph(n, reps):
     return _per_backend(make, reps)
 
 
+#: Shard counts recorded by the sharded sweep column.
+SHARD_SWEEP = (1, 2, 4)
+
+
+def unit_sharded_alternation(n, seeds, reps, ks=SHARD_SWEEP):
+    """Theorem-2 Luby alternation on the partitioned engine (D12).
+
+    Sweeps the shard count under both boundary channels and records
+    each column's gain over the single-process batch path
+    (``sharded-<channel>-k<k>_gain`` = batch seconds / sharded
+    seconds).  The in-process channel serializes the shards and mostly
+    measures partition/exchange overhead; the multiprocessing channel
+    is the scale-out lever and needs a multi-core runner (and large n)
+    to pay for its per-round IPC.  Every column is checked bit-identical
+    to the batch run before it is recorded — a baseline can never
+    commit a diverging shard configuration.
+    """
+    graph = build_graph(WORKLOADS["gnp-sparse"](n, seed=2), seed=2)
+
+    def measure():
+        _, _, uniform = TABLE1["luby"].build()
+        state = {}
+
+        def fn():
+            rounds = steps = 0
+            signature = []
+            for seed in seeds:
+                result = uniform.run(graph, seed=seed)
+                rounds += result.rounds
+                steps += len(result.steps)
+                signature.append((result.rounds, result.outputs))
+            state["rounds"] = rounds
+            state["steps"] = steps
+            state["step_backends"] = {
+                key: entry["steps"]
+                for key, entry in sorted(result.backend_summary().items())
+            }
+            state["signature"] = signature
+
+        fn()  # warm caches (CSR compile, partition plans)
+        seconds = _best(fn, reps)
+        signature = state.pop("signature")
+        entry = {"seconds": round(seconds, 6)}
+        entry.update(state)
+        return entry, signature
+
+    out = {}
+    with use_backend("compiled", rng="counter"), use_batch(True):
+        out["batch"], base_signature = measure()
+    for k in ks:
+        for channel in ("inline", "mp"):
+            with use_backend(
+                "sharded", rng="counter", shards=k, shard_channel=channel
+            ):
+                entry, signature = measure()
+            if signature != base_signature:
+                raise SystemExit(
+                    f"sharded(k={k}, {channel}) diverged from batch — "
+                    "refusing to record"
+                )
+            key = f"sharded-{channel}-k{k}"
+            out[key] = entry
+            out[f"{key}_gain"] = round(
+                out["batch"]["seconds"] / entry["seconds"], 2
+            )
+    return out
+
+
 def unit_matching_dense(n, reps):
     """Matching-heavy scenario: fast MIS over a *dense* line graph.
 
@@ -289,12 +358,17 @@ def unit_matching_dense(n, reps):
 
 
 def check_bit_identity(n=120):
-    """Quick three-way identity check (smoke safety net)."""
+    """Quick identity check across every stepping strategy (smoke net).
+
+    Covers the three single-process strategies plus the sharded engine
+    (both steppings through ``shards=3``, both boundary channels) — the
+    ``sharded(k) ≡ batch ≡ compiled ≡ reference`` contract of D12.
+    """
     graph = build_graph(WORKLOADS["gnp-sparse"](n, seed=8), seed=8)
     guesses = {"m": graph.max_ident, "Delta": graph.max_degree}
     jobs = (
-        (luby_mis(), None),
-        (fast_mis(), guesses),
+        (luby_mis(), None),      # shard-certified kernel
+        (fast_mis(), guesses),   # per-node sharded fallback
     )
     for rng in ("counter", "mt"):
         for algo, g in jobs:
@@ -304,6 +378,13 @@ def check_bit_identity(n=120):
                     results.append(
                         run(graph, algo, seed=3, guesses=g, rng=rng)
                     )
+            for channel in ("inline", "mp"):
+                results.append(
+                    run(
+                        graph, algo, seed=3, guesses=g, rng=rng,
+                        shards=3, shard_channel=channel,
+                    )
+                )
             first = results[0]
             for other in results[1:]:
                 if (
@@ -314,15 +395,18 @@ def check_bit_identity(n=120):
                 ):
                     return False
     # Whole-alternation identity: guess runs AND pruner runs must agree
-    # across the three stepping strategies (D11 pruner batch contract).
-    # The rng scheme is pinned — the strategies are only comparable
-    # under the same random streams.
+    # across every stepping strategy (D11 pruner batch contract, D12
+    # sharded contract).  The rng scheme is pinned — the strategies are
+    # only comparable under the same random streams.
     alternations = []
     for backend in BACKENDS:
         base = "reference" if backend == "reference" else "compiled"
         with use_backend(base, rng="counter"), use_batch(backend == "batch"):
             _, _, uniform = TABLE1["luby"].build()
             alternations.append(uniform.run(graph, seed=3))
+    with use_backend("sharded", rng="counter", shards=3):
+        _, _, uniform = TABLE1["luby"].build()
+        alternations.append(uniform.run(graph, seed=3))
     first = alternations[0]
     for other in alternations[1:]:
         if first.outputs != other.outputs or first.rounds != other.rounds:
@@ -348,6 +432,11 @@ def full_suite():
             "mis-arb-product", 1200, (1,), reps=3
         ),
         "matching-dense-n1800": unit_matching_dense(1800, reps=1),
+        # Partitioned engine (D12): shard-count sweep over both
+        # boundary channels on the pruning-heavy Luby alternation.
+        "sharded-alternation-n2000": unit_sharded_alternation(
+            2000, (1, 2, 3), reps=3
+        ),
         "workload-sweep-n600": unit_workload_sweep(600, reps=3),
         "subgraph-cascade-n2000": unit_subgraph_cascade(2000, reps=3),
         "virtual-linegraph-n400": unit_virtual_linegraph(400, reps=3),
@@ -370,6 +459,14 @@ SMOKE_UNITS = {
     # driver.
     "smoke-alternation": lambda: unit_table1_row(
         "luby", SMOKE_N, (1, 2), reps=SMOKE_REPS
+    ),
+    # Sharded-engine gate unit (D12): the recorded *_gain columns are
+    # informational (worker wall clock flakes on shared runners); the
+    # hard guard is check_bit_identity, which diffs the sharded engine
+    # against the single-process strategies on every smoke run — a
+    # shard regression fails fast with exit 2.
+    "smoke-sharded": lambda: unit_sharded_alternation(
+        SMOKE_N, (1,), reps=2, ks=(2,)
     ),
 }
 
@@ -400,6 +497,19 @@ def render(units):
             f" {cell(entry.get('batch'))} {ratio(entry.get('speedup'))}"
             f" {ratio(entry.get('speedup_batch'))} {ratio(entry.get('batch_gain'))}"
         )
+        shard_gains = {
+            key: value
+            for key, value in entry.items()
+            if key.startswith("sharded-") and key.endswith("_gain")
+        }
+        if shard_gains:
+            lines.append(
+                "  shards vs batch: "
+                + "  ".join(
+                    f"{key[len('sharded-'):-len('_gain')]}={value:.2f}x"
+                    for key, value in sorted(shard_gains.items())
+                )
+            )
     return "\n".join(lines)
 
 
@@ -472,13 +582,18 @@ def main(argv=None):
             "meta": {
                 "python": platform.python_version(),
                 "machine": platform.machine(),
+                "cores": os.cpu_count(),
                 "note": (
                     "best-of-N wall times. reference = seed-faithful stack "
                     "(dict loop, eager MT rng, rebuild restriction); "
                     "compiled = CSR engine stepping per node; batch = CSR "
-                    "engine with batched frontier-step kernels (D10). "
-                    "speedup = reference/compiled, speedup_batch = "
-                    "reference/batch, batch_gain = compiled/batch."
+                    "engine with batched frontier-step kernels (D10); "
+                    "sharded-<channel>-k<k> = partitioned engine (D12), "
+                    "inline channel serializes shards in-process, mp forks "
+                    "one worker per shard (needs a multi-core runner to "
+                    "gain). speedup = reference/compiled, speedup_batch = "
+                    "reference/batch, batch_gain = compiled/batch, "
+                    "sharded-*_gain = batch/sharded."
                 ),
             },
             "units": units,

@@ -88,6 +88,7 @@ def hash_luby_mis():
             budget_of=lambda g: hl_phases(g["n"]),
             priorities=_hash_priorities,
         ),
+        shard=True,
     )
 
 

@@ -225,6 +225,7 @@ def luby_mis():
         requires=(),
         randomized=True,
         batch=_luby_batch_factory(),
+        shard=True,
     )
 
 
@@ -260,6 +261,7 @@ def luby_mc():
         requires=("n",),
         randomized=True,
         batch=_luby_batch_factory(budget_of=lambda g: mc_phases(g["n"])),
+        shard=True,
     )
 
 

@@ -184,6 +184,7 @@ def sw_ruling_set(c):
         requires=("n",),
         randomized=True,
         batch=_luby_batch_factory(budget_of=lambda g: sw_phases(c, g["n"])),
+        shard=True,
     )
 
 

@@ -26,17 +26,48 @@ step costs O(pruned work), not O(steps · n log n).
 from __future__ import annotations
 
 from ..local.graph import SimGraph
-from ..local.runner import batching_requested, resolve_backend, run, run_restricted
+from ..local.runner import (
+    SAFETY_ROUND_CAP,
+    batching_requested,
+    resolve_execution,
+    run,
+    run_restricted,
+)
 from ..local.virtual import (
     VirtualSpec,
     flatten_outputs,
     run_virtual_batch,
+    run_virtual_batch_full,
     virtualize,
 )
 
 #: Extra physical rounds charged per virtual-domain run for the
 #: host-announcement handshake of the virtual layer.
 VIRTUAL_OVERHEAD = 3
+
+
+def _resolve_exec(exec_kwargs):
+    """The one dispatch helper behind every domain runner.
+
+    Domains accept the executor-selection flags (``backend``, ``rng``,
+    ``shards``, ``shard_channel``) as pass-through keyword arguments —
+    the same names, defaults and validation as
+    :func:`repro.local.runner.run` — and resolve them exactly once
+    here, so backend/batch/shard selection can never drift between
+    ``run_restricted`` and ``run_full`` or between domain kinds.
+    """
+    unknown = set(exec_kwargs) - {"backend", "rng", "shards", "shard_channel"}
+    if unknown:
+        raise TypeError(
+            f"unexpected execution keyword(s) {sorted(unknown)}; "
+            "domains accept backend/rng/shards/shard_channel"
+        )
+    return resolve_execution(
+        exec_kwargs.get("backend"),
+        exec_kwargs.get("rng"),
+        exec_kwargs.get("shards"),
+        exec_kwargs.get("shard_channel"),
+    )
 
 
 class Domain:
@@ -137,9 +168,9 @@ class PhysicalDomain(Domain):
         seed=0,
         salt=0,
         default_output=0,
-        backend=None,
-        rng=None,
+        **exec_kwargs,
     ):
+        _resolve_exec(exec_kwargs)  # validate once, forward verbatim
         result = run_restricted(
             self.graph,
             algorithm,
@@ -149,8 +180,7 @@ class PhysicalDomain(Domain):
             guesses=guesses,
             seed=seed,
             salt=salt,
-            backend=backend,
-            rng=rng,
+            **exec_kwargs,
         )
         return result.outputs, budget
 
@@ -163,9 +193,9 @@ class PhysicalDomain(Domain):
         seed=0,
         salt=0,
         max_rounds=None,
-        backend=None,
-        rng=None,
+        **exec_kwargs,
     ):
+        _resolve_exec(exec_kwargs)  # validate once, forward verbatim
         result = run(
             self.graph,
             algorithm,
@@ -174,8 +204,7 @@ class PhysicalDomain(Domain):
             seed=seed,
             salt=salt,
             max_rounds=max_rounds,
-            backend=backend,
-            rng=rng,
+            **exec_kwargs,
         )
         return result.outputs, result.rounds
 
@@ -224,16 +253,16 @@ class VirtualDomain(Domain):
         seed=0,
         salt=0,
         default_output=0,
-        backend=None,
-        rng=None,
+        **exec_kwargs,
     ):
-        backend, rng = resolve_backend(backend, rng)
+        backend, rng, shards, shard_channel = _resolve_exec(exec_kwargs)
         physical_budget = budget * self.spec.dilation + VIRTUAL_OVERHEAD
         if backend != "reference" and batching_requested(backend):
             # Batched fast path: the kernel runs on the virtual graph
-            # itself and the host commit protocol is replayed from the
-            # spec's routing tables — bit-identical domain outputs with
-            # no per-virtual-node host simulation (DESIGN.md D10).
+            # itself (optionally partitioned across shards, D12) and
+            # the host commit protocol is replayed from the spec's
+            # routing tables — bit-identical domain outputs with no
+            # per-virtual-node host simulation (DESIGN.md D10).
             outputs = run_virtual_batch(
                 self.spec,
                 algorithm,
@@ -245,11 +274,10 @@ class VirtualDomain(Domain):
                 salt=salt,
                 rng_mode=rng,
                 default_output=default_output,
+                shards=shards,
+                shard_channel=shard_channel,
             )
             if outputs is not None:
-                from ..local.runner import note_stepping
-
-                note_stepping("batch")
                 return outputs, physical_budget
         wrapped = virtualize(
             self.spec, algorithm, virt_inputs=inputs or {}, engine=backend
@@ -265,6 +293,8 @@ class VirtualDomain(Domain):
             salt=salt,
             backend=backend,
             rng=rng,
+            shards=shards,
+            shard_channel=shard_channel,
         )
         outputs = flatten_outputs(
             self.spec, result.outputs, default=default_output
@@ -283,10 +313,28 @@ class VirtualDomain(Domain):
         seed=0,
         salt=0,
         max_rounds=None,
-        backend=None,
-        rng=None,
+        **exec_kwargs,
     ):
-        backend, rng = resolve_backend(backend, rng)
+        backend, rng, shards, shard_channel = _resolve_exec(exec_kwargs)
+        if backend != "reference" and batching_requested(backend):
+            # Batched full run (D10 closure): step the kernel to its
+            # fixed point and replay the host commit rounds — no host
+            # simulation, same outputs/rounds.
+            got = run_virtual_batch_full(
+                self.spec,
+                algorithm,
+                self.physical,
+                cap=max_rounds if max_rounds is not None else SAFETY_ROUND_CAP,
+                virt_inputs=inputs or {},
+                guesses=guesses,
+                seed=seed,
+                salt=salt,
+                rng_mode=rng,
+                shards=shards,
+                shard_channel=shard_channel,
+            )
+            if got is not None:
+                return got
         wrapped = virtualize(
             self.spec, algorithm, virt_inputs=inputs or {}, engine=backend
         )
@@ -299,6 +347,8 @@ class VirtualDomain(Domain):
             max_rounds=max_rounds,
             backend=backend,
             rng=rng,
+            shards=shards,
+            shard_channel=shard_channel,
         )
         return flatten_outputs(self.spec, result.outputs), result.rounds
 

@@ -112,6 +112,7 @@ class PruningAlgorithm:
             "kind": "pruning",
             "rounds": self.rounds,
             "supports_batch": False,
+            "supports_shard": False,
             "domains": LocalAlgorithm.domains,
             "randomized": False,
             "uniform": True,
@@ -121,6 +122,7 @@ class PruningAlgorithm:
         except NotImplementedError:
             return caps
         caps["supports_batch"] = inner.get("supports_batch", False)
+        caps["supports_shard"] = inner.get("supports_shard", False)
         caps["domains"] = inner.get("domains", caps["domains"])
         return caps
 
@@ -314,6 +316,10 @@ class RulingSetPruning(PruningAlgorithm):
             name=self.name,
             process=lambda ctx: _RulingSetPruneProcess(ctx, beta),
             batch=_ruling_prune_batch_factory(beta),
+            # Shard-safe (D12): the kernel's state is boolean per-node
+            # columns derived from per-label inputs, its reductions are
+            # owner-side flag gathers and its messages degree sums.
+            shard=True,
         )
 
 

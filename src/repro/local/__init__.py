@@ -18,7 +18,7 @@ from .algorithm import (
 from .msgsize import estimate_bits
 from .composition import Chain, default_carry
 from .context import CounterRNG, NodeContext, make_rng
-from .engine import CompiledGraph
+from .engine import CompiledGraph, Partition
 from .graph import SimGraph
 from .message import Broadcast
 from .runner import (
@@ -30,7 +30,13 @@ from .runner import (
     use_backend,
     use_batch,
 )
-from .virtual import VirtualSpec, flatten_outputs, run_virtual_batch, virtualize
+from .virtual import (
+    VirtualSpec,
+    flatten_outputs,
+    run_virtual_batch,
+    run_virtual_batch_full,
+    virtualize,
+)
 from .wakeup import run_with_wakeup, running_time, termination_times
 
 __all__ = [
@@ -41,6 +47,7 @@ __all__ = [
     "FunctionProcess",
     "HostAlgorithm",
     "LocalAlgorithm",
+    "Partition",
     "estimate_bits",
     "NodeContext",
     "NodeProcess",
@@ -53,6 +60,7 @@ __all__ = [
     "run",
     "run_restricted",
     "run_virtual_batch",
+    "run_virtual_batch_full",
     "set_batch_enabled",
     "run_with_wakeup",
     "running_time",

@@ -69,19 +69,31 @@ class LocalAlgorithm:
         ``receive`` per node; a factory may return ``None`` to decline a
         configuration it cannot reproduce bit-identically, in which case
         the engine falls back to per-node stepping.
+    shard:
+        Whether the batch kernel is certified *shard-safe* (DESIGN.md
+        D12): slab reductions are owner-side only, message counts are
+        degree-weighted, per-node state lives in introspectable
+        length-n arrays, and stepping past a locally-exhausted frontier
+        is a no-op.  Only then may the sharded engine run the kernel on
+        partition sub-CSRs with halo exchange; uncertified algorithms
+        shard through the (always-exact) per-node stepping instead.
     """
 
-    __slots__ = ("name", "process", "requires", "randomized", "batch")
+    __slots__ = ("name", "process", "requires", "randomized", "batch", "shard")
 
     #: Domain kinds a per-node algorithm runs on (capability record).
     domains = ("physical", "virtual")
 
-    def __init__(self, name, process, requires=(), randomized=False, batch=None):
+    def __init__(
+        self, name, process, requires=(), randomized=False, batch=None,
+        shard=False,
+    ):
         self.name = name
         self.process = process
         self.requires = tuple(requires)
         self.randomized = bool(randomized)
         self.batch = batch
+        self.shard = bool(shard)
 
     @property
     def uniform(self):
@@ -94,13 +106,16 @@ class LocalAlgorithm:
         ``kind`` selects the execution style (``"node"``: per-node
         processes through the runner; ``"host"``: self-restricting
         orchestration), ``supports_batch`` whether a frontier kernel is
-        registered, ``domains`` where the algorithm may execute.  The
-        registry (``repro.algorithms.registry``) aggregates these per
-        Table-1 row.
+        registered, ``supports_shard`` whether that kernel is certified
+        for partitioned execution (D12), ``domains`` where the
+        algorithm may execute.  The registry
+        (``repro.algorithms.registry``) aggregates these per Table-1
+        row.
         """
         return {
             "kind": "node",
             "supports_batch": self.batch is not None,
+            "supports_shard": self.shard and self.batch is not None,
             "domains": self.domains,
             "randomized": self.randomized,
             "uniform": self.uniform,
@@ -155,6 +170,7 @@ class HostAlgorithm:
         return {
             "kind": "host",
             "supports_batch": False,
+            "supports_shard": False,
             "domains": self.domains,
             "randomized": self.randomized,
             "uniform": self.uniform,

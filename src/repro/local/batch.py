@@ -160,8 +160,57 @@ def batch_graph_of(cg):
     return bg
 
 
+def shard_batch_graph(part, s, labels, idents):
+    """Shard ``s``'s sub-:class:`BatchGraph` under a partition plan.
+
+    Node order is the shard's local order (ascending global index, i.e.
+    identity order restricted to owned ∪ ghost nodes), owned rows are
+    complete and ghost rows empty — see ``Partition.sub_csr``.  Labels
+    and identities stay *global*, so kernel factories index run inputs
+    and derive per-node rng streams exactly as they would on the full
+    graph: the counter scheme's keys are pure functions of
+    ``(run key, identity)``, which is what keeps draws bit-identical to
+    the single-process engine regardless of the shard count (D12).
+    """
+    loc = part.locals_of(s)
+    sub_offsets, sub_neigh = part.sub_csr(s)
+    return BatchGraph(
+        [labels[g] for g in loc],
+        [idents[g] for g in loc],
+        sub_offsets,
+        sub_neigh,
+    )
+
+
+def make_shard_kernels(factory, part, labels, idents, setup_of):
+    """Build one kernel per shard, or ``None`` when any factory declines.
+
+    ``setup_of(shard_bg)`` supplies the per-shard :class:`BatchSetup`
+    (engine runs and virtual-domain runs derive draws differently).
+    Returns a list of ``(shard_bg, kernel)`` pairs; eligibility gates
+    (capability record, numpy, ``track_bits``) live with the callers,
+    mirroring :func:`make_engine_kernel`.
+    """
+    out = []
+    for s in range(part.k):
+        bg = shard_batch_graph(part, s, labels, idents)
+        kernel = factory(bg, setup_of(bg))
+        if kernel is None:
+            return None
+        out.append((bg, kernel))
+    return out
+
+
 def batch_graph_of_spec(spec):
-    """A :class:`BatchGraph` over a virtual graph, ordered by identity."""
+    """The cached :class:`BatchGraph` of a virtual graph (identity order).
+
+    Cached on the spec, mirroring ``batch_graph_of``'s per-CSR cache: a
+    step's guess run and pruner run (and a sharded run's partition
+    build) share one mirror.
+    """
+    bg = spec._batch
+    if bg is not None:
+        return bg
     np = _np
     ident = spec.ident
     adj = spec.adj
@@ -171,7 +220,10 @@ def batch_graph_of_spec(spec):
     offsets = np.zeros(len(labels) + 1, dtype=np.int64)
     np.cumsum([len(row) for row in rows], out=offsets[1:])
     neigh = [index[w] for row in rows for w in row]
-    return BatchGraph(labels, [ident[v] for v in labels], offsets, neigh)
+    bg = spec._batch = BatchGraph(
+        labels, [ident[v] for v in labels], offsets, neigh
+    )
+    return bg
 
 
 class BatchSetup:

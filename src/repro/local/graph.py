@@ -211,6 +211,17 @@ class SimGraph:
             view = self._compiled = CompiledGraph(self)
         return view
 
+    def partition(self, k):
+        """Edge-cut plan of the CSR into ``k`` shards (cached per count).
+
+        The plan backs the sharded round loop
+        (:mod:`repro.local.sharded`, ``run(graph, algo, shards=k)``):
+        contiguous identity-ordered shards with halo/ghost tables.
+        Restriction children carry their own CSR, so every alternation
+        instance partitions without recompiling structure.
+        """
+        return self.compiled().partition(k)
+
     def subgraph(self, keep):
         """Induced subgraph on ``keep`` with fresh port numbering.
 

@@ -52,14 +52,30 @@ SAFETY_ROUND_CAP = 100_000
 #: ``"batch"`` is the compiled engine with the batched frontier-step
 #: path explicitly requested (it is also auto-selected under
 #: ``"compiled"`` whenever the algorithm registers a kernel).
-_BACKENDS = ("compiled", "reference", "batch")
+#: ``"sharded"`` is the partitioned engine (DESIGN.md D12): the round
+#: loop runs per graph shard with boundary exchange; it is also
+#: selected by passing ``shards=k`` to :func:`run` under any compiled
+#: backend.
+_BACKENDS = ("compiled", "reference", "batch", "sharded")
 _RNG_MODES = ("counter", "mt")
+#: Boundary-exchange channels of the sharded engine: ``"inline"`` steps
+#: the shards sequentially in-process (deterministic reference),
+#: ``"mp"`` forks one worker per shard.
+_SHARD_CHANNELS = ("inline", "mp")
 
 #: Process-wide backend default (overridable per call).
 DEFAULT_BACKEND = os.environ.get("REPRO_BACKEND", "compiled")
 #: Process-wide rng-scheme override; ``None`` picks the backend's native
 #: scheme ("counter" for compiled, "mt" for reference).
 DEFAULT_RNG = os.environ.get("REPRO_RNG") or None
+try:
+    #: Shard count used when ``backend="sharded"`` is selected without
+    #: an explicit ``shards=k``.
+    DEFAULT_SHARDS = max(1, int(os.environ.get("REPRO_SHARDS", "") or 2))
+except ValueError:  # pragma: no cover - malformed environment
+    DEFAULT_SHARDS = 2
+#: Default boundary-exchange channel of the sharded engine.
+DEFAULT_SHARD_CHANNEL = os.environ.get("REPRO_SHARD_CHANNEL", "inline")
 #: Process-wide switch for the batched frontier-step path (DESIGN.md
 #: D10).  Off, every run steps per node — the fallback that also engages
 #: automatically when numpy is unavailable.  ``backend="batch"``
@@ -122,32 +138,59 @@ def set_default_backend(backend):
 
 
 @contextmanager
-def use_backend(backend, rng=None):
-    """Temporarily pin the runner backend (and optionally the rng scheme).
+def use_backend(backend, rng=None, shards=None, shard_channel=None):
+    """Temporarily pin the runner backend (and optionally the rng scheme,
+    shard count and shard channel).
 
     The equivalence suite runs whole pipelines — alternations, virtual
     domains, portfolios — under each backend with the rng scheme pinned,
     proving the engines interchangeable end to end.
+    ``use_backend("sharded", shards=4)`` shards every run of a pipeline
+    without threading ``shards=`` through each call site.
     """
-    global DEFAULT_BACKEND, DEFAULT_RNG
+    global DEFAULT_BACKEND, DEFAULT_RNG, DEFAULT_SHARDS, DEFAULT_SHARD_CHANNEL
     if rng is not None and rng not in _RNG_MODES:
         raise ParameterError(f"unknown rng scheme {rng!r} (use {_RNG_MODES})")
+    if shard_channel is not None and shard_channel not in _SHARD_CHANNELS:
+        raise ParameterError(
+            f"unknown shard channel {shard_channel!r} (use {_SHARD_CHANNELS})"
+        )
+    if shards is not None:
+        # Same validation as resolve_execution: reject rather than clamp.
+        if int(shards) < 1:
+            raise ParameterError(f"shards must be >= 1, got {shards}")
+        if backend != "sharded":
+            # DEFAULT_SHARDS only takes effect under backend="sharded";
+            # accepting it here would pin a count that never applies.
+            raise ParameterError(
+                "use_backend(..., shards=k) requires backend='sharded' "
+                f"(got {backend!r}); pass shards per call instead"
+            )
     prev_backend = set_default_backend(backend)
     prev_rng = DEFAULT_RNG
+    prev_shards = DEFAULT_SHARDS
+    prev_channel = DEFAULT_SHARD_CHANNEL
     DEFAULT_RNG = rng if rng is not None else prev_rng
+    if shards is not None:
+        DEFAULT_SHARDS = int(shards)
+    if shard_channel is not None:
+        DEFAULT_SHARD_CHANNEL = shard_channel
     try:
         yield
     finally:
         DEFAULT_BACKEND = prev_backend
         DEFAULT_RNG = prev_rng
+        DEFAULT_SHARDS = prev_shards
+        DEFAULT_SHARD_CHANNEL = prev_channel
 
 
 def resolve_backend(backend=None, rng=None):
     """Resolve (backend, rng_mode) from per-call values and defaults.
 
-    ``"batch"`` resolves like ``"compiled"`` (same engine, same native
-    rng scheme); it additionally *requests* the batched stepping even
-    when the process-wide switch is off.
+    ``"batch"`` and ``"sharded"`` resolve like ``"compiled"`` (same
+    engine family, same native rng scheme); ``"batch"`` additionally
+    *requests* the batched stepping even when the process-wide switch
+    is off, ``"sharded"`` selects the partitioned round loop.
     """
     backend = backend or DEFAULT_BACKEND
     if backend not in _BACKENDS:
@@ -158,9 +201,40 @@ def resolve_backend(backend=None, rng=None):
     return backend, rng
 
 
+def resolve_execution(backend=None, rng=None, shards=None, shard_channel=None):
+    """Resolve the full executor selection in one place.
+
+    Returns ``(backend, rng_mode, shards, shard_channel)`` where
+    ``shards`` is ``None`` for unsharded execution.  This is the single
+    dispatch helper behind :func:`run`, :func:`run_restricted` and the
+    :class:`~repro.core.domain.Domain` runners, so backend/batch/shard
+    selection flags pass through every layer identically.
+    """
+    backend, rng_mode = resolve_backend(backend, rng)
+    if shards is not None:
+        shards = int(shards)
+        if shards < 1:
+            raise ParameterError(f"shards must be >= 1, got {shards}")
+        if backend == "reference":
+            raise ParameterError(
+                "sharded execution requires a compiled backend "
+                "(backend='reference' cannot take shards)"
+            )
+    elif backend == "sharded":
+        shards = DEFAULT_SHARDS
+    shard_channel = shard_channel or DEFAULT_SHARD_CHANNEL
+    if shard_channel not in _SHARD_CHANNELS:
+        raise ParameterError(
+            f"unknown shard channel {shard_channel!r} (use {_SHARD_CHANNELS})"
+        )
+    return backend, rng_mode, shards, shard_channel
+
+
 def batching_requested(backend):
     """Whether a resolved backend name should take the batched path."""
-    return backend == "batch" or (backend == "compiled" and BATCH_ENABLED)
+    return backend == "batch" or (
+        backend in ("compiled", "sharded") and BATCH_ENABLED
+    )
 
 
 class RunResult:
@@ -231,6 +305,8 @@ def run(
     track_bits=False,
     backend=None,
     rng=None,
+    shards=None,
+    shard_channel=None,
 ):
     """Execute ``algorithm`` on ``graph`` and return a :class:`RunResult`.
 
@@ -263,16 +339,26 @@ def run(
         message-size instrumentation; small runtime overhead).
     backend:
         ``"compiled"`` (CSR engine, default), ``"reference"`` (the
-        specification loop) or ``"batch"`` (the CSR engine with the
+        specification loop), ``"batch"`` (the CSR engine with the
         batched frontier-step path explicitly requested; compiled runs
         auto-select it whenever the algorithm registers a kernel and
-        :data:`BATCH_ENABLED` is on).  ``None`` uses the process
-        default.
+        :data:`BATCH_ENABLED` is on) or ``"sharded"`` (the partitioned
+        round loop, DESIGN.md D12).  ``None`` uses the process default.
     rng:
         Per-node random-source scheme, ``"counter"`` or ``"mt"``;
         ``None`` uses the backend's native scheme.  Pin it when diffing
         backends — the schemes produce different (equally valid) random
         streams.
+    shards:
+        Shard count for partitioned execution; any value implies the
+        sharded engine under the resolved compiled backend (bit
+        identical to it for every count — counts larger than ``n``
+        clamp).  ``None`` shards only when the backend is
+        ``"sharded"`` (then :data:`DEFAULT_SHARDS` applies).
+    shard_channel:
+        Boundary exchange of the sharded engine: ``"inline"``
+        (in-process, deterministic reference) or ``"mp"`` (forked
+        worker pool).  ``None`` uses :data:`DEFAULT_SHARD_CHANNEL`.
     """
     if capabilities_of(algorithm).get("kind") != "node":
         raise TypeError(f"expected LocalAlgorithm, got {type(algorithm).__name__}")
@@ -290,7 +376,29 @@ def run(
         cap = SAFETY_ROUND_CAP
     else:
         cap = max_rounds
-    backend, rng_mode = resolve_backend(backend, rng)
+    backend, rng_mode, shards, shard_channel = resolve_execution(
+        backend, rng, shards, shard_channel
+    )
+    if shards is not None:
+        from .sharded import run_sharded
+
+        return run_sharded(
+            graph,
+            algorithm,
+            inputs=inputs,
+            guesses=guesses,
+            seed=seed,
+            salt=salt,
+            cap=cap,
+            truncating=truncating,
+            default_output=default_output,
+            track_bits=track_bits,
+            rng_mode=rng_mode,
+            result_cls=RunResult,
+            use_batch=batching_requested(backend),
+            shards=shards,
+            channel=shard_channel,
+        )
     if backend != "reference":
         from .engine import run_compiled
 

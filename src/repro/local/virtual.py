@@ -47,12 +47,13 @@ full rebuild) remains the specification path it is tested against.
 
 from __future__ import annotations
 
-from ..errors import InvalidInstanceError, ParameterError
-from .algorithm import LocalAlgorithm, NodeProcess
+from ..errors import InvalidInstanceError, NonTerminationError, ParameterError
+from .algorithm import LocalAlgorithm, NodeProcess, capabilities_of
 from .batch import (
     BatchSetup,
     available as batch_available,
     batch_graph_of_spec,
+    make_shard_kernels,
     virtual_draw_builder,
 )
 from .context import NodeContext, sub_rng
@@ -90,6 +91,8 @@ class VirtualSpec:
         "recv_port",
         "relay_client_ports",
         "_routes",
+        "_batch",
+        "_partitions",
     )
 
     def __init__(self, host, ident, adj, physical_graph):
@@ -109,6 +112,10 @@ class VirtualSpec:
                 self.recv_port[(other, virt)] = port
         self._build_routes(physical_graph)
         self._routes = None
+        #: Lazily built numpy mirror / edge-cut plans (by shard count),
+        #: shared by a step's guess and pruner runs.
+        self._batch = None
+        self._partitions = None
 
     def _build_routes(self, graph):
         port_to = {u: {v: p for p, v, _ in graph.adj[u]} for u in graph.nodes}
@@ -233,6 +240,8 @@ class VirtualSpec:
             for relay, ports in relay_client_ports.items()
         }
         spec._routes = None
+        spec._batch = None
+        spec._partitions = None
         return spec
 
     @property
@@ -609,6 +618,136 @@ def virtualize(spec, algorithm, *, virt_inputs=None, name=None, engine=None):
     )
 
 
+def _virtual_kernel(
+    spec,
+    algorithm,
+    physical,
+    *,
+    virt_inputs,
+    guesses,
+    seed,
+    salt,
+    rng_mode,
+    shards,
+    shard_channel,
+    bg,
+):
+    """Build the virtual run's kernel: sharded ensemble or plain.
+
+    With a shard count > 1 and a shard-certified kernel (D12), the
+    virtual graph's CSR is partitioned exactly like a physical one —
+    the nested host→sub rng derivation is a pure function of
+    ``(host identity, virtual identity)``, so per-shard draw sources
+    reproduce the single-kernel streams for every shard count.  Falls
+    back to one kernel when ineligible; returns ``None`` when the
+    factory declines.  Callers must ``close()`` the returned object if
+    it has a ``close`` (the sharded loop owns a channel).
+    """
+    factory = algorithm.batch
+
+    def setup_of(sub_bg):
+        return BatchSetup(
+            virt_inputs,
+            guesses,
+            rng_mode,
+            virtual_draw_builder(sub_bg, spec, physical, rng_mode, seed, salt),
+        )
+
+    if (
+        shards is not None
+        and shards > 1
+        and bg.n > 1
+        and capabilities_of(algorithm).get("supports_shard")
+    ):
+        from .engine import Partition
+        from .runner import note_stepping
+        from .sharded import BatchShard, ShardedKernelLoop, open_channel
+
+        plans = spec._partitions
+        if plans is None:
+            plans = spec._partitions = {}
+        part = plans.get(shards)
+        if part is None:
+            csr = plans.get("csr")  # one list conversion, shared per k
+            if csr is None:
+                csr = plans["csr"] = (
+                    bg.offsets.tolist(),
+                    bg.neigh.tolist(),
+                )
+            part = plans[shards] = Partition(csr[0], csr[1], shards)
+        built = make_shard_kernels(
+            factory, part, bg.labels, bg.idents, setup_of
+        )
+        if built is not None:
+            batch_shards = [
+                BatchShard(s, kernel, part)
+                for s, (_sub, kernel) in enumerate(built)
+            ]
+            note_stepping("shard-batch")
+            return ShardedKernelLoop(
+                open_channel(batch_shards, shard_channel), part.k, bg.n
+            )
+    kernel = factory(bg, setup_of(bg))
+    if kernel is not None:
+        from .runner import note_stepping
+
+        note_stepping("batch")
+    return kernel
+
+
+def _require_guesses(algorithm, guesses):
+    """Validate Γ̃ coverage with the runner's exact diagnostics."""
+    guesses = dict(guesses or {})
+    missing = [p for p in algorithm.requires if p not in guesses]
+    if missing:
+        name = f"virtual[{algorithm.name}]"
+        raise ParameterError(f"algorithm {name!r} requires guesses for {missing}")
+    return guesses
+
+
+def _host_commits(spec, physical, finish_vround, vindex):
+    """Replay the host announce/commit protocol from kernel finish data.
+
+    ``finish_vround`` maps bg index -> virtual round (1-based) the node
+    finished in; missing = not within the simulated horizon.  Returns
+    ``host -> physical commit round`` (``None`` = beyond the horizon):
+    a host announces at the physical round its last virtual node
+    finishes, a relay additionally waits one round past each client
+    host's announcement.
+    """
+    dilation = spec.dilation
+    announce = {}
+    for p in physical.nodes:
+        virts = spec.hosted.get(p)
+        if not virts:
+            announce[p] = 0
+            continue
+        last = 0
+        for v in virts:
+            k = finish_vround.get(vindex[v])
+            if k is None:
+                last = None
+                break
+            if k > last:
+                last = k
+        announce[p] = None if last is None else (last - 1) * dilation
+    commit = dict(announce)
+    for relay, ports in spec.relay_client_ports.items():
+        worst = commit[relay]
+        if worst is None:
+            continue
+        row = physical.adj[relay]
+        for port in ports:
+            client_announce = announce[row[port][1]]
+            if client_announce is None:
+                worst = None
+                break
+            if client_announce + 1 > worst:
+                worst = client_announce + 1
+        commit[relay] = worst
+    return commit
+
+
 def run_virtual_batch(
     spec,
     algorithm,
@@ -621,6 +760,8 @@ def run_virtual_batch(
     salt,
     rng_mode,
     default_output,
+    shards=None,
+    shard_channel="inline",
 ):
     """Budgeted virtual run through a batch kernel; ``None`` = ineligible.
 
@@ -650,78 +791,50 @@ def run_virtual_batch(
     """
     if not batch_available() or not spec.adj:
         return None
-    from .algorithm import capabilities_of
-
     if not capabilities_of(algorithm).get("supports_batch"):
         return None
-    factory = algorithm.batch
-    guesses = dict(guesses or {})
-    missing = [p for p in algorithm.requires if p not in guesses]
-    if missing:
-        # Same diagnostic the host path raises through the runner.
-        name = f"virtual[{algorithm.name}]"
-        raise ParameterError(f"algorithm {name!r} requires guesses for {missing}")
+    guesses = _require_guesses(algorithm, guesses)
     bg = batch_graph_of_spec(spec)
-    setup = BatchSetup(
-        virt_inputs or {},
-        guesses,
-        rng_mode,
-        virtual_draw_builder(bg, spec, physical, rng_mode, seed, salt),
+    kernel = _virtual_kernel(
+        spec,
+        algorithm,
+        physical,
+        virt_inputs=virt_inputs or {},
+        guesses=guesses,
+        seed=seed,
+        salt=salt,
+        rng_mode=rng_mode,
+        shards=shards,
+        shard_channel=shard_channel,
+        bg=bg,
     )
-    kernel = factory(bg, setup)
     if kernel is None:
         return None
 
-    dilation = spec.dilation
-    max_vrounds = cap // dilation + 1
+    max_vrounds = cap // spec.dilation + 1
     finish_vround = {}
     results = {}
-    finished, values, _ = kernel.start()
-    for i, value in zip(finished, values):
-        finish_vround[i] = 1
-        results[i] = value
-    vround = 1
-    while not kernel.done and vround < max_vrounds:
-        vround += 1
-        finished, values, _ = kernel.step()
+    try:
+        finished, values, _ = kernel.start()
         for i, value in zip(finished, values):
-            finish_vround[i] = vround
+            finish_vround[i] = 1
             results[i] = value
+        vround = 1
+        while not kernel.done and vround < max_vrounds:
+            vround += 1
+            finished, values, _ = kernel.step()
+            for i, value in zip(finished, values):
+                finish_vround[i] = vround
+                results[i] = value
+    finally:
+        closer = getattr(kernel, "close", None)
+        if closer is not None:
+            closer()
 
     vindex = {label: i for i, label in enumerate(bg.labels)}
-    # A host announces at the physical round its last virtual node
-    # finishes (None: not within the simulated horizon).
-    announce = {}
-    for p in physical.nodes:
-        virts = spec.hosted.get(p)
-        if not virts:
-            announce[p] = 0
-            continue
-        last = 0
-        for v in virts:
-            k = finish_vround.get(vindex[v])
-            if k is None:
-                last = None
-                break
-            if k > last:
-                last = k
-        announce[p] = None if last is None else (last - 1) * dilation
     # A relay commits only after every client host's announcement has
     # crossed its physical edge (one round after it is broadcast).
-    commit = dict(announce)
-    for relay, ports in spec.relay_client_ports.items():
-        worst = commit[relay]
-        if worst is None:
-            continue
-        row = physical.adj[relay]
-        for port in ports:
-            client_announce = announce[row[port][1]]
-            if client_announce is None:
-                worst = None
-                break
-            if client_announce + 1 > worst:
-                worst = client_announce + 1
-        commit[relay] = worst
+    commit = _host_commits(spec, physical, finish_vround, vindex)
 
     outputs = {}
     host_of = spec.host
@@ -733,6 +846,98 @@ def run_virtual_batch(
         else:
             outputs[virt] = default_output
     return outputs
+
+
+def run_virtual_batch_full(
+    spec,
+    algorithm,
+    physical,
+    *,
+    cap,
+    virt_inputs,
+    guesses,
+    seed,
+    salt,
+    rng_mode,
+    shards=None,
+    shard_channel="inline",
+):
+    """Full (self-terminating) virtual run through a batch kernel.
+
+    Closes the ROADMAP "still per-node" gap for ``run_full`` on virtual
+    domains: with no declared round budget to hand the driver, the
+    kernel is stepped to its fixed point (every virtual node finished),
+    capped only by the physical round limit — the budget grows with the
+    stepping itself.  The observable product mirrors the host simulation
+    bit for bit: the per-virtual-node output map plus the physical
+    running time ``max(host commit rounds)`` replayed from the
+    announcement protocol — and when the cap bites, the same
+    :class:`~repro.errors.NonTerminationError` the physical runner
+    would raise for the wrapped algorithm, listing the hosts that could
+    not commit.  Returns ``(outputs, rounds)`` or ``None`` when the
+    configuration is ineligible for the batch path.
+    """
+    if not batch_available() or not spec.adj:
+        return None
+    if not capabilities_of(algorithm).get("supports_batch"):
+        return None
+    guesses = _require_guesses(algorithm, guesses)
+    bg = batch_graph_of_spec(spec)
+    kernel = _virtual_kernel(
+        spec,
+        algorithm,
+        physical,
+        virt_inputs=virt_inputs or {},
+        guesses=guesses,
+        seed=seed,
+        salt=salt,
+        rng_mode=rng_mode,
+        shards=shards,
+        shard_channel=shard_channel,
+        bg=bg,
+    )
+    if kernel is None:
+        return None
+
+    max_vrounds = cap // spec.dilation + 1
+    finish_vround = {}
+    results = {}
+    try:
+        finished, values, _ = kernel.start()
+        for i, value in zip(finished, values):
+            finish_vround[i] = 1
+            results[i] = value
+        vround = 1
+        # The horizon grows with the stepping itself — kernel state
+        # persists, so extending a budget is just stepping further (a
+        # doubling-and-restart schedule degenerates to this loop).
+        while not kernel.done and vround < max_vrounds:
+            vround += 1
+            finished, values, _ = kernel.step()
+            for i, value in zip(finished, values):
+                finish_vround[i] = vround
+                results[i] = value
+    finally:
+        closer = getattr(kernel, "close", None)
+        if closer is not None:
+            closer()
+
+    vindex = {label: i for i, label in enumerate(bg.labels)}
+    commit = _host_commits(spec, physical, finish_vround, vindex)
+    overdue = [
+        p
+        for p in physical.nodes
+        if commit[p] is None or commit[p] > cap
+    ]
+    if overdue:
+        # Same diagnostics the physical runner raises for the wrapped
+        # algorithm: the hosts still active at the cap, identity order.
+        raise NonTerminationError(f"virtual[{algorithm.name}]", cap, overdue)
+    outputs = {
+        virt: results[vindex[virt]] for virt in spec.virtual_nodes
+    }
+    rounds = max(commit.values()) if commit else 0
+    return outputs, rounds
 
 
 def flatten_outputs(spec, physical_outputs, *, default=None):
