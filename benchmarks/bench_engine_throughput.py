@@ -251,20 +251,25 @@ def unit_virtual_linegraph(n, reps):
 
 #: Shard counts recorded by the sharded sweep column.
 SHARD_SWEEP = (1, 2, 4)
+#: Boundary channels recorded by the sharded sweep column.
+SHARD_CHANNELS = ("inline", "mp", "mp-pooled")
 
 
-def unit_sharded_alternation(n, seeds, reps, ks=SHARD_SWEEP):
-    """Theorem-2 Luby alternation on the partitioned engine (D12).
+def unit_sharded_alternation(n, seeds, reps, ks=SHARD_SWEEP,
+                             channels=SHARD_CHANNELS):
+    """Theorem-2 Luby alternation on the partitioned engine (D12/D13).
 
-    Sweeps the shard count under both boundary channels and records
+    Sweeps the shard count under every boundary channel and records
     each column's gain over the single-process batch path
     (``sharded-<channel>-k<k>_gain`` = batch seconds / sharded
     seconds).  The in-process channel serializes the shards and mostly
-    measures partition/exchange overhead; the multiprocessing channel
-    is the scale-out lever and needs a multi-core runner (and large n)
-    to pay for its per-round IPC.  Every column is checked bit-identical
-    to the batch run before it is recorded — a baseline can never
-    commit a diverging shard configuration.
+    measures partition/exchange overhead; ``mp`` pays one fork per
+    shard per run; ``mp-pooled`` dispatches every run of the
+    alternation to the persistent worker pool with shared-memory halo
+    exchange (D13) — the scale-out lever, needing a multi-core runner
+    for absolute wins over single-process batch.  Every column is
+    checked bit-identical to the batch run before it is recorded — a
+    baseline can never commit a diverging shard configuration.
     """
     graph = build_graph(WORKLOADS["gnp-sparse"](n, seed=2), seed=2)
 
@@ -299,7 +304,7 @@ def unit_sharded_alternation(n, seeds, reps, ks=SHARD_SWEEP):
     with use_backend("compiled", rng="counter"), use_batch(True):
         out["batch"], base_signature = measure()
     for k in ks:
-        for channel in ("inline", "mp"):
+        for channel in channels:
             with use_backend(
                 "sharded", rng="counter", shards=k, shard_channel=channel
             ):
@@ -368,7 +373,7 @@ def check_bit_identity(n=120):
     guesses = {"m": graph.max_ident, "Delta": graph.max_degree}
     jobs = (
         (luby_mis(), None),      # shard-certified kernel
-        (fast_mis(), guesses),   # per-node sharded fallback
+        (fast_mis(), guesses),   # shard-certified since D13
     )
     for rng in ("counter", "mt"):
         for algo, g in jobs:
@@ -378,7 +383,7 @@ def check_bit_identity(n=120):
                     results.append(
                         run(graph, algo, seed=3, guesses=g, rng=rng)
                     )
-            for channel in ("inline", "mp"):
+            for channel in SHARD_CHANNELS:
                 results.append(
                     run(
                         graph, algo, seed=3, guesses=g, rng=rng,
@@ -404,9 +409,12 @@ def check_bit_identity(n=120):
         with use_backend(base, rng="counter"), use_batch(backend == "batch"):
             _, _, uniform = TABLE1["luby"].build()
             alternations.append(uniform.run(graph, seed=3))
-    with use_backend("sharded", rng="counter", shards=3):
-        _, _, uniform = TABLE1["luby"].build()
-        alternations.append(uniform.run(graph, seed=3))
+    for channel in ("inline", "mp-pooled"):
+        with use_backend(
+            "sharded", rng="counter", shards=3, shard_channel=channel
+        ):
+            _, _, uniform = TABLE1["luby"].build()
+            alternations.append(uniform.run(graph, seed=3))
     first = alternations[0]
     for other in alternations[1:]:
         if first.outputs != other.outputs or first.rounds != other.rounds:
@@ -466,7 +474,14 @@ SMOKE_UNITS = {
     # against the single-process strategies on every smoke run — a
     # shard regression fails fast with exit 2.
     "smoke-sharded": lambda: unit_sharded_alternation(
-        SMOKE_N, (1,), reps=2, ks=(2,)
+        SMOKE_N, (1,), reps=2, ks=(2,), channels=("inline", "mp")
+    ),
+    # Pooled-channel gate unit (D13): the persistent worker pool with
+    # shared-memory halos, measured against fork-per-run mp on the same
+    # alternation (bit-identity enforced by the unit itself and by
+    # check_bit_identity above).
+    "smoke-sharded-pooled": lambda: unit_sharded_alternation(
+        SMOKE_N, (1,), reps=2, ks=(2,), channels=("mp", "mp-pooled")
     ),
 }
 
@@ -574,6 +589,15 @@ def main(argv=None):
         print("smoke ok: within 20% of committed baseline speedups")
         return 0
 
+    if args.update and not check_bit_identity():
+        # The smoke gate refuses divergence with exit 2; the baseline
+        # writer must be equally strict — a committed BENCH_engine.json
+        # can never describe strategies that stopped agreeing.
+        print(
+            "FAIL: execution strategies are no longer bit-identical — "
+            "refusing to rewrite the baseline"
+        )
+        return 2
     units = full_suite()
     print(render(units))
     if args.update:
@@ -590,8 +614,10 @@ def main(argv=None):
                     "engine with batched frontier-step kernels (D10); "
                     "sharded-<channel>-k<k> = partitioned engine (D12), "
                     "inline channel serializes shards in-process, mp forks "
-                    "one worker per shard (needs a multi-core runner to "
-                    "gain). speedup = reference/compiled, speedup_batch = "
+                    "one worker per shard per run, mp-pooled reuses the "
+                    "persistent worker pool with shared-memory halo "
+                    "exchange (D13; needs a multi-core runner for absolute "
+                    "wins). speedup = reference/compiled, speedup_batch = "
                     "reference/batch, batch_gain = compiled/batch, "
                     "sharded-*_gain = batch/sharded."
                 ),

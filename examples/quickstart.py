@@ -14,6 +14,7 @@ from repro.algorithms.luby import luby_mc_nonuniform
 from repro.bench import build_graph
 from repro.core import mis_pruning, render_trace, theorem2
 from repro.graphs import families
+from repro.local import use_backend
 from repro.problems import MIS
 
 
@@ -42,6 +43,19 @@ def main():
     print(f"\nvalid MIS with {chosen} nodes in {result.rounds} rounds "
           f"({len(result.steps)} alternating steps)\n")
     print(render_trace(result))
+
+    # The same pipeline scales out unchanged: shard the round loop and
+    # dispatch every alternation step to a persistent worker pool with
+    # shared-memory halo exchange (DESIGN.md D12/D13).  The backend
+    # equivalence contract makes the outcome bit-identical to the
+    # single-process run for every shard count and channel.
+    with use_backend("sharded", shards=2, shard_channel="mp-pooled"):
+        sharded = theorem2(luby_mc_nonuniform(), mis_pruning()).run(
+            network, seed=7
+        )
+    assert sharded.outputs == result.outputs
+    assert sharded.rounds == result.rounds
+    print("\nsharded(k=2, mp-pooled) reproduced the run bit-identically")
 
 
 if __name__ == "__main__":

@@ -114,7 +114,38 @@ class ColoringBatchKernel:
     digit decomposition runs in Python big-int arithmetic when the color
     space demands it; every later palette is tiny.  Bit-identity with
     the per-node machines is asserted by the equivalence suite.
+
+    Shard certification (D12/D13)
+    -----------------------------
+    The kernel is shard-safe: every slab reduction is owner-side (rival
+    cover checks and ``taken`` scatters index through the owner column,
+    which in a partition sub-CSR contains only owned rows), message
+    counts are degree sums (ghost rows are empty), and the cross-round
+    state is exactly the arrays named by :data:`SHARD_SYNC` — canonical
+    per-node value codes (colors, group/rank codes, taken rows,
+    announcement values), never local index permutations.  Derived
+    per-phase structures (``rank_order``/``rank_sorted``/``same_own``/
+    ``same_nb``) are *not* synced: they are computed lazily on first
+    use, i.e. after the halo exchange has overwritten the ghost entries
+    of the arrays they derive from, so each shard reconstructs them
+    from authoritative values.  Big-integer color spaces cannot live in
+    the int64 sync plane, so the factory declines those configurations
+    under sharding (``setup.sharded``) and the run shards per node.
     """
+
+    #: Per-node state arrays exchanged by the sharded halo sync — the
+    #: D12 contract's introspection is replaced by this explicit list
+    #: because the kernel also keeps length-n *derived* arrays (sorted
+    #: orders) whose values are local positions, not per-node state.
+    SHARD_SYNC = (
+        "colors",
+        "group",
+        "rank",
+        "taken",
+        "ann_mask",
+        "ann_group",
+        "ann_value",
+    )
 
     __slots__ = (
         "bg",
@@ -143,6 +174,7 @@ class ColoringBatchKernel:
     )
 
     def __init__(self, bg, setup, steps, palette, delta):
+        np = batch.numpy_or_none()
         self.bg = bg
         self.delta = delta
         self.steps = steps
@@ -158,8 +190,17 @@ class ColoringBatchKernel:
                 colors.append(int(value["color"]) - 1)
             else:
                 colors.append(ident - 1)
-        self.colors_obj = colors
-        self.colors = None
+        if all(0 <= c < _BATCH_COLOR_LIMIT for c in colors):
+            # Machine-word color space: keep the whole schedule in int64
+            # arrays (this is also what the sharded halo sync exchanges).
+            self.colors = np.asarray(colors, dtype=np.int64)
+            self.colors_obj = None
+        else:
+            # Big-integer identities: peel the first reduction with
+            # Python ints, enter machine words at _enter_kw.  The
+            # factory declines this configuration under sharding.
+            self.colors = None
+            self.colors_obj = colors
         self.kw_index = 0
         self.ann_mask = None
         self.in_sweep = False
@@ -173,7 +214,10 @@ class ColoringBatchKernel:
     def _enter_kw(self):
         """Freeze colors into the KW reducer state; may finish at once."""
         np = batch.numpy_or_none()
-        self.colors = np.asarray(self.colors_obj, dtype=np.int64)
+        if self.colors is None:
+            # Big-int Linial stage: values are tiny after one reduction.
+            self.colors = np.asarray(self.colors_obj, dtype=np.int64)
+            self.colors_obj = None
         if not self.kw_phases:
             return self._complete()
         self._enter_phase()
@@ -186,16 +230,19 @@ class ColoringBatchKernel:
         self.group = self.colors // group_size
         self.rank = self.colors % group_size
         self.taken = np.zeros((bg.n, self.delta + 1), dtype=bool)
-        # Group and rank are frozen for the whole phase, so the edges
-        # whose announcements can ever land in a taken set — same-group
-        # endpoint pairs — and the per-round announcer slices are
-        # precomputed once; rounds then cost O(group-local traffic), not
-        # O(edge slab).
-        same = self.group[bg.owner] == self.group[bg.neigh]
-        self.same_own = bg.owner[same]
-        self.same_nb = bg.neigh[same]
-        self.rank_order = np.argsort(self.rank, kind="stable")
-        self.rank_sorted = self.rank[self.rank_order]
+        # Group and rank are frozen for the whole phase; the structures
+        # derived from them — the same-group edge set whose
+        # announcements can ever land in a taken set, and the sorted
+        # announcer schedule — are computed lazily on first use in
+        # _kw_step, so that under sharding the halo sync has refreshed
+        # the ghost entries of group/rank first (phase entry happens at
+        # the end of a round, one sync before the derived values are
+        # read).  Rounds then cost O(group-local traffic), not
+        # O(edge slab), exactly as before.
+        self.same_own = None
+        self.same_nb = None
+        self.rank_order = None
+        self.rank_sorted = None
         # The first round of a phase may still receive announcements
         # made under the *previous* phase's groups; only that round
         # needs the general cross-group filter.
@@ -231,20 +278,30 @@ class ColoringBatchKernel:
         bg = self.bg
         n = bg.n
         space = q ** (d + 1)
-        reduced = [c % space for c in self.colors_obj]
         digits = np.empty((n, d + 1), dtype=np.int32)
-        if space < _BATCH_COLOR_LIMIT:
-            value = np.asarray(reduced, dtype=np.int64)
+        if self.colors is not None:
+            # Machine-word colors: when the evaluation space exceeds the
+            # color range the modulo is the identity, so the peel stays
+            # in int64 either way.
+            value = self.colors % space if space < _BATCH_COLOR_LIMIT else self.colors.copy()
             for j in range(d + 1):
                 digits[:, j] = value % q
                 value //= q
         else:
             # First reduction of a huge identity space: peel digits with
-            # Python big ints, then stay in machine words forever after.
-            for i, value in enumerate(reduced):
+            # Python big ints where even the reduced space overflows,
+            # then stay in machine words forever after.
+            reduced = [c % space for c in self.colors_obj]
+            if space < _BATCH_COLOR_LIMIT:
+                value = np.asarray(reduced, dtype=np.int64)
                 for j in range(d + 1):
-                    digits[i, j] = value % q
+                    digits[:, j] = value % q
                     value //= q
+            else:
+                for i, value in enumerate(reduced):
+                    for j in range(d + 1):
+                        digits[i, j] = value % q
+                        value //= q
         # P[u, x] = p_u(x) over F_q for every evaluation point at once
         # (values < q ≤ 2048, so int32 holds the Horner intermediates).
         xs = np.arange(q, dtype=np.int32)
@@ -281,7 +338,10 @@ class ColoringBatchKernel:
         if len(idx):
             # Every point covered: the scalar fallback is p(0).
             new_colors[idx] = points[idx, 0]
-        self.colors_obj = new_colors.tolist()
+        # Reduced colors always fit machine words (< q² + q), so even a
+        # big-integer start promotes to the int64 array after one step.
+        self.colors = new_colors
+        self.colors_obj = None
 
     def _kw_step(self, j):
         np = batch.numpy_or_none()
@@ -296,9 +356,16 @@ class ColoringBatchKernel:
                 hits = self.ann_mask[nb] & (self.ann_group[nb] == self.group[own])
                 self.taken[own[hits], self.ann_value[nb[hits]]] = True
             else:
+                if self.same_own is None:
+                    same = self.group[bg.owner] == self.group[bg.neigh]
+                    self.same_own = bg.owner[same]
+                    self.same_nb = bg.neigh[same]
                 sel = self.ann_mask[self.same_nb]
                 self.taken[self.same_own[sel], self.ann_value[self.same_nb[sel]]] = True
         self.fresh_phase = False
+        if self.rank_order is None:
+            self.rank_order = np.argsort(self.rank, kind="stable")
+            self.rank_sorted = self.rank[self.rank_order]
         lo = np.searchsorted(self.rank_sorted, phase_round, "left")
         hi = np.searchsorted(self.rank_sorted, phase_round, "right")
         rows = self.rank_order[lo:hi]
@@ -343,9 +410,12 @@ def _coloring_batch_factory(kernel_cls=ColoringBatchKernel):
             return None
         if any(q > _BATCH_Q_LIMIT for q, _ in steps):
             return None
-        if not steps:
-            # Colors feed the KW arithmetic unreduced: decline when the
-            # identity/input space cannot live in int64.
+        if not steps or getattr(setup, "sharded", False):
+            # Without a Linial stage the colors feed the KW arithmetic
+            # unreduced; under sharding (D13) they must additionally
+            # live in the int64 halo-sync plane from round one.  Either
+            # way, decline when the identity/input space cannot live in
+            # int64 (the run falls back per node, which is always exact).
             for label, ident in zip(bg.labels, bg.idents):
                 value = setup.inputs.get(label)
                 color = (
@@ -367,6 +437,7 @@ def fast_coloring():
         process=FastColoringProcess,
         requires=("m", "Delta"),
         batch=_coloring_batch_factory(),
+        shard=True,
     )
 
 

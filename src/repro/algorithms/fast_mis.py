@@ -72,46 +72,75 @@ class MISBatchKernel(ColoringBatchKernel):
 
     Instead of finishing with the final colors, schedule completion
     opens the sweep: in sweep slot ``s`` every undecided node of color
-    ``s-1`` joins unless a neighbour's earlier ``mis`` announcement
-    blocked it.  Slots are indexed through a sorted color order and
-    blocking walks only the joiners' adjacency rows, so the whole sweep
-    costs O(n log n + edges) — empty slots (gapped garbage colors under
-    bad guesses) cost O(1) instead of a frontier scan.
+    ``s-1`` joins unless a neighbour joined in an earlier slot.  Slots
+    are indexed through a sorted color order and blocking gathers over
+    the *deciders'* adjacency rows (each node decides exactly once, so
+    the whole sweep costs O(n log n + edges)); empty slots (gapped
+    garbage colors under bad guesses) cost O(1) instead of a frontier
+    scan.
+
+    Shard certification (D12/D13): the blocking test is an owned-row
+    gather — a decider reads the ``in_mis`` flags of its neighbours —
+    instead of the previous joiner-side scatter into neighbour rows,
+    which would have missed cross-shard neighbours (ghost rows are
+    empty, so a remote joiner's scatter never reaches the owner's
+    ``blocked`` entry).  ``in_mis`` is per-node state carried by the
+    halo sync; the sweep schedule (``sweep_order``/``slots_sorted``) is
+    derived lazily at the first sweep round, after the sync has
+    replaced stale ghost colors from the final KW round.
     """
 
-    __slots__ = ("blocked", "sweep_order", "slots_sorted", "sweep_ptr", "prev_joiners")
+    __slots__ = ("in_mis", "sweep_order", "slots_sorted", "sweep_ptr")
+
+    SHARD_SYNC = ColoringBatchKernel.SHARD_SYNC + ("in_mis",)
 
     def _complete(self):
         np = batch.numpy_or_none()
-        slots = self.colors + 1
-        self.sweep_order = np.argsort(slots, kind="stable")
-        self.slots_sorted = slots[self.sweep_order]
+        self.sweep_order = None
+        self.slots_sorted = None
         self.sweep_ptr = 0
-        self.blocked = np.zeros(self.bg.n, dtype=bool)
-        self.prev_joiners = None
+        self.in_mis = np.zeros(self.bg.n, dtype=bool)
         self.in_sweep = True
         return [], []
 
     def undone_indices(self):
         np = batch.numpy_or_none()
-        if self.in_sweep:
+        if self.in_sweep and self.sweep_order is not None:
             return np.sort(self.sweep_order[self.sweep_ptr :]).tolist()
         return list(range(self.bg.n))
 
     def _sweep_step(self, s):
         np = batch.numpy_or_none()
         bg = self.bg
-        joiners = self.prev_joiners
-        if joiners is not None and len(joiners):
-            offsets, neigh = bg.offsets, bg.neigh
-            for i in joiners.tolist():
-                self.blocked[neigh[offsets[i] : offsets[i + 1]]] = True
+        if self.sweep_order is None:
+            slots = self.colors + 1  # colors are 0-based, slots 1-based
+            self.sweep_order = np.argsort(slots, kind="stable")
+            self.slots_sorted = slots[self.sweep_order]
         hi = np.searchsorted(self.slots_sorted, s, "right")
         deciders = self.sweep_order[self.sweep_ptr : hi]
         self.sweep_ptr = hi
-        blocked = self.blocked[deciders]
+        if len(deciders):
+            # Gather each decider's row: blocked iff any neighbour
+            # already joined.  Rows are walked as one flat fancy index
+            # (O(Σ degree of deciders); every node decides once).
+            starts = bg.offsets[deciders]
+            lens = bg.degrees[deciders]
+            total = int(lens.sum())
+            if total:
+                rows = np.repeat(np.arange(len(deciders)), lens)
+                edge = np.arange(total) - np.repeat(
+                    np.cumsum(lens) - lens, lens
+                )
+                hit = self.in_mis[bg.neigh[np.repeat(starts, lens) + edge]]
+                blocked = np.bincount(
+                    rows, weights=hit, minlength=len(deciders)
+                ) > 0
+            else:
+                blocked = np.zeros(len(deciders), dtype=bool)
+        else:
+            blocked = np.zeros(0, dtype=bool)
         joiners = deciders[~blocked]
-        self.prev_joiners = joiners
+        self.in_mis[joiners] = True
         finished = joiners.tolist()
         results = [1] * len(finished)
         lost = deciders[blocked].tolist()
@@ -128,6 +157,7 @@ def fast_mis():
         process=FastMISProcess,
         requires=("m", "Delta"),
         batch=_coloring_batch_factory(MISBatchKernel),
+        shard=True,
     )
 
 

@@ -17,10 +17,16 @@ Restriction semantics follow the paper: a budgeted run forces the default
 output ("0") on nodes that have not terminated.
 
 Domain runs honour the process-wide runner backend
-(:func:`repro.local.runner.use_backend`) and accept per-call ``backend``
-/ ``rng`` overrides; restriction uses the incremental subgraph paths
-(``SimGraph.subgraph`` / ``VirtualSpec.restricted``), so one alternation
-step costs O(pruned work), not O(steps · n log n).
+(:func:`repro.local.runner.use_backend`) and accept the full executor
+selection per call (``backend`` / ``rng`` / ``shards`` /
+``shard_channel``, resolved once by :func:`_resolve_exec` and forwarded
+verbatim) — so a whole transformer pipeline shards, or dispatches to
+the persistent worker pool (``shard_channel="mp-pooled"``, DESIGN.md
+D13), without the transformers knowing: each alternation step's guess
+run *and* pruning run re-dispatch to the scope's warm pool.
+Restriction uses the incremental subgraph paths (``SimGraph.subgraph``
+/ ``VirtualSpec.restricted``), so one alternation step costs O(pruned
+work), not O(steps · n log n).
 """
 
 from __future__ import annotations

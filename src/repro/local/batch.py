@@ -230,28 +230,76 @@ class BatchSetup:
     """Run context handed to a kernel factory.
 
     ``draw_source(bits)`` builds the per-node random-draw view lazily,
-    so deterministic kernels never touch seed material.
+    so deterministic kernels never touch seed material.  ``sharded``
+    tells the factory the kernel will run on a partition sub-CSR with
+    halo exchange (D12/D13): factories whose state cannot live in the
+    synced array plane for a configuration (e.g. big-integer colors)
+    return ``None`` then, and the run falls back to per-node sharding.
     """
 
-    __slots__ = ("inputs", "guesses", "rng_mode", "_draw_builder")
+    __slots__ = ("inputs", "guesses", "rng_mode", "sharded", "_draw_builder")
 
-    def __init__(self, inputs, guesses, rng_mode, draw_builder):
+    def __init__(self, inputs, guesses, rng_mode, draw_builder, sharded=False):
         self.inputs = inputs
         self.guesses = guesses
         self.rng_mode = rng_mode
+        self.sharded = sharded
         self._draw_builder = draw_builder
 
     def draw_source(self, bits=62):
         return self._draw_builder(bits)
 
 
+class _MtNodeFactory:
+    """Picklable ``local index -> random.Random`` for the mt scheme.
+
+    A plain class instead of a closure so that kernels holding a
+    :class:`SequentialDraws` can ship to the persistent shard workers
+    (D13) — pickling a lambda fails, pickling this ships fine.
+    """
+
+    __slots__ = ("seed", "salt", "idents")
+
+    def __init__(self, seed, salt, idents):
+        self.seed = seed
+        self.salt = salt
+        self.idents = idents
+
+    def __call__(self, i):
+        return make_rng(self.seed, self.salt, self.idents[i])
+
+
+class _VirtualMtNodeFactory:
+    """Picklable nested host→sub mt derivation (see
+    :func:`virtual_draw_builder`)."""
+
+    __slots__ = ("seed", "salt", "idents", "hosts", "host_idents", "base_cache")
+
+    def __init__(self, seed, salt, idents, hosts, host_idents):
+        self.seed = seed
+        self.salt = salt
+        self.idents = idents
+        self.hosts = hosts
+        self.host_idents = host_idents
+        self.base_cache = {}
+
+    def __call__(self, i):
+        p = self.hosts[i]
+        base = self.base_cache.get(p)
+        if base is None:
+            base = self.base_cache[p] = make_rng(
+                self.seed, self.salt, self.host_idents[p]
+            ).getrandbits(64)
+        return random.Random(f"{base}|virt|{self.idents[i]}")
+
+
 def _engine_draw_builder(bg, rng_mode, seed, salt):
     def build(bits):
         if rng_mode == "counter":
             return CounterDraws(stream_keys(run_key(seed, salt), bg.idents), bits)
-        idents = bg.idents
-        factory = lambda i: make_rng(seed, salt, idents[i])
-        return SequentialDraws(factory, bg.n, bits)
+        return SequentialDraws(
+            _MtNodeFactory(seed, salt, bg.idents), bg.n, bits
+        )
 
     return build
 
@@ -280,19 +328,11 @@ def virtual_draw_builder(bg, spec, physical, rng_mode, seed, salt):
                     base = base_cache[p] = CounterRNG(host_key).getrandbits(64)
                 keys[i] = base ^ ((bg.idents[i] * _IDENT_MIX) & _MASK64)
             return CounterDraws(keys, bits)
-        base_cache = {}
-        idents = bg.idents
-
-        def factory(i):
-            p = hosts[i]
-            base = base_cache.get(p)
-            if base is None:
-                base = base_cache[p] = make_rng(
-                    seed, salt, host_ident[p]
-                ).getrandbits(64)
-            return random.Random(f"{base}|virt|{idents[i]}")
-
-        return SequentialDraws(factory, bg.n, bits)
+        return SequentialDraws(
+            _VirtualMtNodeFactory(seed, salt, bg.idents, hosts, host_ident),
+            bg.n,
+            bits,
+        )
 
     return build
 

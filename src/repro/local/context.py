@@ -165,17 +165,43 @@ def counter_rng(key, ident):
     return CounterRNG(key ^ ((ident * _IDENT_MIX) & _MASK64))
 
 
+class _MtSource:
+    """Picklable ``ident -> random.Random`` factory (the mt scheme)."""
+
+    __slots__ = ("seed", "salt")
+
+    def __init__(self, seed, salt):
+        self.seed = seed
+        self.salt = salt
+
+    def __call__(self, ident):
+        return make_rng(self.seed, self.salt, ident)
+
+
+class _CounterSource:
+    """Picklable ``ident -> CounterRNG`` factory (the counter scheme)."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key):
+        self.key = key
+
+    def __call__(self, ident):
+        return counter_rng(self.key, ident)
+
+
 def rng_source(mode, seed, salt):
     """Return ``ident -> generator`` for a named derivation scheme.
 
     The returned callable is also a valid lazy ``rng_factory`` for
-    :class:`NodeContext` — one shared closure serves every node of a run.
+    :class:`NodeContext` — one shared instance serves every node of a
+    run.  Both sources are plain picklable objects (not closures) so
+    per-node shard state can ship to the persistent worker pool (D13).
     """
     if mode == "mt":
-        return lambda ident: make_rng(seed, salt, ident)
+        return _MtSource(seed, salt)
     if mode == "counter":
-        key = run_key(seed, salt)
-        return lambda ident: counter_rng(key, ident)
+        return _CounterSource(run_key(seed, salt))
     raise ParameterError(f"unknown rng scheme {mode!r} (use 'mt' or 'counter')")
 
 

@@ -116,6 +116,7 @@ class Partition:
         "_l_of",
         "_sub",
         "_sync",
+        "_halo",
     )
 
     def __init__(self, offsets, neigh, k):
@@ -145,6 +146,7 @@ class Partition:
         self._l_of = None
         self._sub = None
         self._sync = None
+        self._halo = None
 
     def shard_of(self, i):
         """Owning shard of global node index ``i``."""
@@ -251,6 +253,40 @@ class Partition:
                     recv[d][src] = [self.local_index(d, g) for g in glist]
             plan = self._sync = (sends, recv)
         return plan
+
+    def halo_layout(self, bytes_per_node, header_bytes=1024, slots=2):
+        """Stable shared-memory offsets for the halo plane (D13).
+
+        Returns ``(total_bytes, regions)`` where ``regions`` maps each
+        boundary pair ``(src, dest)`` to ``(offset, capacity)``:
+        ``capacity`` bytes per ring slot, ``slots`` consecutive slots
+        starting at ``offset``.  Offsets are a pure function of the
+        partition geometry (pairs enumerated in ascending ``(src,
+        dest)`` order), so every worker of a pooled run derives the same
+        layout from the same plan — the sender writes its boundary-node
+        state slices at ``offset + (round & 1) * capacity`` and the
+        receiver reads the same bytes, no per-round reconciliation.
+        Payloads that outgrow ``capacity`` fall back to the piped
+        exchange for that round; correctness never depends on the
+        sizing.
+        """
+        cache = self._halo
+        if cache is None:
+            cache = self._halo = {}
+        key = (bytes_per_node, header_bytes, slots)
+        layout = cache.get(key)
+        if layout is not None:
+            return layout
+        sends, _ = self.sync_plan()
+        regions = {}
+        total = 0
+        for src in range(self.k):
+            for dest, idx in sends[src]:
+                capacity = header_bytes + len(idx) * bytes_per_node
+                regions[(src, dest)] = (total, capacity)
+                total += capacity * slots
+        layout = cache[key] = (total, regions)
+        return layout
 
 
 class CompiledGraph:

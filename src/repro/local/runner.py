@@ -60,8 +60,10 @@ _BACKENDS = ("compiled", "reference", "batch", "sharded")
 _RNG_MODES = ("counter", "mt")
 #: Boundary-exchange channels of the sharded engine: ``"inline"`` steps
 #: the shards sequentially in-process (deterministic reference),
-#: ``"mp"`` forks one worker per shard.
-_SHARD_CHANNELS = ("inline", "mp")
+#: ``"mp"`` forks one worker per shard per run, ``"mp-pooled"``
+#: dispatches to the persistent worker pool with shared-memory halo
+#: exchange (DESIGN.md D13).
+_SHARD_CHANNELS = ("inline", "mp", "mp-pooled")
 
 #: Process-wide backend default (overridable per call).
 DEFAULT_BACKEND = os.environ.get("REPRO_BACKEND", "compiled")
@@ -147,6 +149,13 @@ def use_backend(backend, rng=None, shards=None, shard_channel=None):
     proving the engines interchangeable end to end.
     ``use_backend("sharded", shards=4)`` shards every run of a pipeline
     without threading ``shards=`` through each call site.
+
+    A sharded scope is also a *pool scope* (DESIGN.md D13): the first
+    run dispatched through ``shard_channel="mp-pooled"`` inside it
+    spawns the persistent worker pool, every later run of the scope —
+    each ``(A_i ; P)`` step of an alternation — reuses the warm
+    workers, and the outermost scope exit joins them.  Pooled runs
+    outside any scope fall back to a per-run pool.
     """
     global DEFAULT_BACKEND, DEFAULT_RNG, DEFAULT_SHARDS, DEFAULT_SHARD_CHANNEL
     if rng is not None and rng not in _RNG_MODES:
@@ -175,6 +184,14 @@ def use_backend(backend, rng=None, shards=None, shard_channel=None):
         DEFAULT_SHARDS = int(shards)
     if shard_channel is not None:
         DEFAULT_SHARD_CHANNEL = shard_channel
+    scope = None
+    if backend == "sharded" or shard_channel == "mp-pooled":
+        # Sharded scopes double as worker-pool scopes (D13): pooled runs
+        # inside reuse one warm pool, torn down at the outermost exit.
+        from .sharded import pool_scope
+
+        scope = pool_scope()
+        scope.__enter__()
     try:
         yield
     finally:
@@ -182,6 +199,8 @@ def use_backend(backend, rng=None, shards=None, shard_channel=None):
         DEFAULT_RNG = prev_rng
         DEFAULT_SHARDS = prev_shards
         DEFAULT_SHARD_CHANNEL = prev_channel
+        if scope is not None:
+            scope.__exit__(None, None, None)
 
 
 def resolve_backend(backend=None, rng=None):
@@ -357,8 +376,12 @@ def run(
         ``"sharded"`` (then :data:`DEFAULT_SHARDS` applies).
     shard_channel:
         Boundary exchange of the sharded engine: ``"inline"``
-        (in-process, deterministic reference) or ``"mp"`` (forked
-        worker pool).  ``None`` uses :data:`DEFAULT_SHARD_CHANNEL`.
+        (in-process, deterministic reference), ``"mp"`` (one forked
+        worker per shard per run) or ``"mp-pooled"`` (persistent
+        worker pool + shared-memory halo plane, DESIGN.md D13 — reuse
+        the pool across runs by wrapping the pipeline in
+        ``use_backend("sharded", ...)``).  ``None`` uses
+        :data:`DEFAULT_SHARD_CHANNEL`.
     """
     if capabilities_of(algorithm).get("kind") != "node":
         raise TypeError(f"expected LocalAlgorithm, got {type(algorithm).__name__}")

@@ -40,13 +40,20 @@ deterministic reference for the exchange protocol (and the numpy-free /
 single-core fallback).  ``channel="mp"`` forks one worker per shard
 (copy-on-write inherits graph, processes and kernels without pickling)
 and routes the per-round packets through pipes via the parent; workers
-are forked per run and joined when it completes.  Both channels produce
-bit-identical :class:`~repro.local.runner.RunResult` fields for every
-shard count — the ``sharded(k) ≡ batch ≡ compiled ≡ reference``
-contract enforced by ``tests/test_engine_equivalence.py``.
+are forked per run and joined when it completes.  ``channel="mp-pooled"``
+(D13) dispatches to a *persistent* :class:`WorkerPool` instead: workers
+are spawned once per pool scope (``use_backend("sharded", ...)``) and
+reused across every run of a pipeline, with the per-round halo exchange
+travelling through a fork-inherited shared-memory arena rather than
+through the parent's pipes.  All channels produce bit-identical
+:class:`~repro.local.runner.RunResult` fields for every shard count —
+the ``sharded(k) ≡ batch ≡ compiled ≡ reference`` contract enforced by
+``tests/test_engine_equivalence.py``.
 """
 
 from __future__ import annotations
+
+from contextlib import contextmanager
 
 from ..errors import NonTerminationError
 from .algorithm import LocalAlgorithm, capabilities_of
@@ -73,7 +80,21 @@ def fork_available():
 # ---------------------------------------------------------------------------
 
 def _state_array_names(kernel):
-    """Slot names of a kernel in deterministic (mro, declaration) order."""
+    """Names of the kernel's halo-synced state arrays.
+
+    A kernel may pin the set explicitly with a ``SHARD_SYNC`` class
+    attribute — required when it also keeps derived length-n arrays
+    (sorted orders, rank permutations) whose values are local positions
+    rather than per-node state (the coloring/MIS kernels, D13).
+    Without the declaration, every ``__slots__`` entry that holds a
+    length-n numpy array at exchange time is synced, in deterministic
+    (mro, declaration) order — sufficient for kernels whose only
+    length-n arrays *are* per-node state (the Luby family, the
+    pruners).
+    """
+    declared = getattr(type(kernel), "SHARD_SYNC", None)
+    if declared is not None:
+        return list(declared)
     names = []
     for cls in type(kernel).__mro__:
         for name in getattr(cls, "__slots__", ()):
@@ -103,6 +124,8 @@ class BatchShard:
         "gmap",
         "sends",
         "recv_slots",
+        "halo_total",
+        "halo_regions",
         "_names",
     )
 
@@ -123,9 +146,23 @@ class BatchShard:
             src: np.asarray(idx, dtype=np.int64)
             for src, idx in recv[index].items()
         }
+        # Stable shared-memory offsets of this shard's halo regions
+        # (D13): pure geometry, so the pickled shard carries everything
+        # a pooled worker needs to place its ring-buffer writes/reads.
+        total, regions = part.halo_layout(
+            _HALO_BYTES_PER_NODE, _HALO_HEADER_BYTES
+        )
+        self.halo_total = total
+        self.halo_regions = {
+            pair: region
+            for pair, region in regions.items()
+            if pair[0] == index or pair[1] == index
+        }
         self._names = _state_array_names(kernel)
 
-    def _report(self, finished, results, messages):
+    def owned(self, finished, results):
+        """Filter a kernel report down to this shard's owned nodes,
+        translated to global indices."""
         lo, hi = self.own_lo, self.own_hi
         gmap = self.gmap
         fin = []
@@ -134,9 +171,14 @@ class BatchShard:
             if lo <= i < hi:
                 fin.append(gmap[i])
                 res.append(value)
+        return fin, res
+
+    def _report(self, finished, results, messages):
+        fin, res = self.owned(finished, results)
         return (fin, res, messages, None, self._sync_payload())
 
-    def _sync_payload(self):
+    def sync_arrays(self):
+        """The kernel's per-node state arrays, ``[(name, array), ...]``."""
         np = numpy_or_none()
         kernel = self.kernel
         n = self.n_local
@@ -145,21 +187,29 @@ class BatchShard:
             value = getattr(kernel, name, None)
             if isinstance(value, np.ndarray) and len(value) == n:
                 arrays.append((name, value))
+        return arrays
+
+    def _sync_payload(self):
+        arrays = self.sync_arrays()
         return {
             dest: [(name, arr[idx]) for name, arr in arrays]
             for dest, idx in self.sends
         }
 
-    def _apply_sync(self, inbound):
+    def apply_sync_one(self, src, payload):
+        """Overwrite ghost entries owned by shard ``src`` from ``payload``."""
         np = numpy_or_none()
         kernel = self.kernel
         n = self.n_local
+        slots = self.recv_slots[src]
+        for name, values in payload:
+            target = getattr(kernel, name, None)
+            if isinstance(target, np.ndarray) and len(target) == n:
+                target[slots] = values
+
+    def _apply_sync(self, inbound):
         for src, payload in inbound:
-            slots = self.recv_slots[src]
-            for name, values in payload:
-                target = getattr(kernel, name, None)
-                if isinstance(target, np.ndarray) and len(target) == n:
-                    target[slots] = values
+            self.apply_sync_one(src, payload)
 
     def round0(self):
         return self._report(*self.kernel.start())
@@ -379,6 +429,48 @@ class InlineChannel:
         pass
 
 
+def _recv_reports(conns, on_failure):
+    """Collect one reply per worker; surface the first failure.
+
+    Shared by the fork-per-run and pooled channels so worker-failure
+    detection cannot drift between them.  ``on_failure()`` runs once
+    before the failure is re-raised — closing the forked pool, or
+    poisoning the persistent one.
+    """
+    reports = []
+    failure = None
+    for conn in conns:
+        try:
+            tag, payload = conn.recv()
+        except (EOFError, OSError):
+            tag, payload = "err", RuntimeError(
+                "sharded worker died without reporting"
+            )
+        if tag == "err" and failure is None:
+            failure = payload
+        reports.append(payload)
+    if failure is not None:
+        on_failure()
+        raise failure
+    return reports
+
+
+def _join_workers(procs, conns):
+    """Stop, join (terminating stragglers) and disconnect workers."""
+    for conn in conns:
+        try:
+            conn.send(("stop",))
+        except (BrokenPipeError, OSError):
+            pass
+    for proc in procs:
+        proc.join(timeout=5)
+        if proc.is_alive():  # pragma: no cover - defensive cleanup
+            proc.terminate()
+            proc.join(timeout=5)
+    for conn in conns:
+        conn.close()
+
+
 def _shard_worker(conn, shard):
     """Worker loop of the multiprocessing channel (one forked process)."""
     try:
@@ -432,22 +524,7 @@ class ProcessChannel:
             self.procs.append(proc)
 
     def _recv_all(self):
-        reports = []
-        failure = None
-        for conn in self.conns:
-            try:
-                tag, payload = conn.recv()
-            except EOFError:
-                tag, payload = "err", RuntimeError(
-                    "sharded worker died without reporting"
-                )
-            if tag == "err" and failure is None:
-                failure = payload
-            reports.append(payload)
-        if failure is not None:
-            self.close()
-            raise failure
-        return reports
+        return _recv_reports(self.conns, self.close)
 
     def round0(self):
         return self._recv_all()
@@ -463,24 +540,437 @@ class ProcessChannel:
         return self._recv_all()
 
     def close(self):
-        for conn in self.conns:
+        _join_workers(self.procs, self.conns)
+
+
+# ---------------------------------------------------------------------------
+# persistent worker pool + shared-memory halo plane (D13)
+# ---------------------------------------------------------------------------
+
+#: Per-boundary-node byte budget of a halo-plane ring slot.  Covers the
+#: certified kernels' state (a handful of 8-byte scalars plus bool
+#: flags) with room for moderate 2-D rows; a round whose payload
+#: outgrows its region falls back to the piped exchange — sizing is a
+#: throughput knob, never a correctness one.
+_HALO_BYTES_PER_NODE = 256
+#: Fixed per-region headroom for array headers (names, dtypes, shapes).
+_HALO_HEADER_BYTES = 1024
+#: Initial size of a pool's halo arena.
+_ARENA_MIN_BYTES = 1 << 20
+
+#: Marker a pooled worker reports in place of a halo payload that was
+#: written to the shared-memory plane (the receiver reads it directly).
+_SHM = ("shm",)
+
+
+class _HaloPlane:
+    """Worker-side view of the shared halo arena (one per loaded run).
+
+    Each boundary pair ``(src, dest)`` owns a double-buffered region at
+    a stable offset (``Partition.halo_layout``); a round writes slot
+    ``round & 1`` and reads the peer slot of the previous round.  The
+    parent's recv-all/send-all sequencing is the barrier: a worker only
+    reads a region after the parent has collected the writer's report
+    for that round, and the two-slot ring keeps a racing writer off the
+    slot a slower reader is still consuming.  Arrays travel as raw
+    bytes plus a tiny header (name, dtype, row width) — no pickling, no
+    parent relay.
+    """
+
+    __slots__ = ("buf", "regions", "index", "writes")
+
+    def __init__(self, buf, regions, index):
+        self.buf = buf
+        self.regions = regions
+        self.index = index
+        self.writes = 0
+
+    def write_outbound(self, shard):
+        """Write this round's boundary slices; returns the report's
+        outbound map (shm markers, or inline payloads on overflow)."""
+        arrays = shard.sync_arrays()
+        slot = self.writes & 1
+        self.writes += 1
+        out = {}
+        for dest, idx in shard.sends:
+            sliced = [(name, arr[idx]) for name, arr in arrays]
+            region = self.regions.get((self.index, dest))
+            if region is not None and self._write(region, slot, sliced):
+                out[dest] = _SHM
+            else:
+                out[dest] = ("pipe", sliced)
+        return out
+
+    def _write(self, region, slot, sliced):
+        import struct
+
+        offset, capacity = region
+        base = offset + slot * capacity
+        end = base + capacity
+        buf = self.buf
+        pos = base + 4
+        for name, arr in sliced:
+            raw = arr.tobytes()
+            nm = name.encode()
+            dt = arr.dtype.str.encode()
+            ncols = arr.shape[1] if arr.ndim == 2 else 0
+            if pos + 2 + len(nm) + len(dt) + 8 + len(raw) > end:
+                return False
+            buf[pos] = len(nm)
+            pos += 1
+            buf[pos:pos + len(nm)] = nm
+            pos += len(nm)
+            buf[pos] = len(dt)
+            pos += 1
+            buf[pos:pos + len(dt)] = dt
+            pos += len(dt)
+            struct.pack_into("<II", buf, pos, ncols, len(raw))
+            pos += 8
+            buf[pos:pos + len(raw)] = raw
+            pos += len(raw)
+        struct.pack_into("<I", buf, base, len(sliced))
+        return True
+
+    def read_inbound(self, src):
+        """Read the ghost-state payload shard ``src`` wrote last round."""
+        import struct
+
+        np = numpy_or_none()
+        offset, capacity = self.regions[(src, self.index)]
+        base = offset + ((self.writes - 1) & 1) * capacity
+        buf = self.buf
+        (count,) = struct.unpack_from("<I", buf, base)
+        pos = base + 4
+        payload = []
+        for _ in range(count):
+            ln = buf[pos]
+            pos += 1
+            name = bytes(buf[pos:pos + ln]).decode()
+            pos += ln
+            ln = buf[pos]
+            pos += 1
+            dtype = np.dtype(bytes(buf[pos:pos + ln]).decode())
+            pos += ln
+            ncols, nbytes = struct.unpack_from("<II", buf, pos)
+            pos += 8
+            values = np.frombuffer(
+                buf, dtype=dtype, count=nbytes // dtype.itemsize, offset=pos
+            )
+            pos += nbytes
+            if ncols:
+                values = values.reshape(-1, ncols)
+            payload.append((name, values))
+        return payload
+
+
+def _serve_round0(shard, halo):
+    if halo is None:
+        return shard.round0()
+    finished, results, messages = shard.kernel.start()
+    finished, results = shard.owned(finished, results)
+    return (finished, results, messages, None, halo.write_outbound(shard))
+
+
+def _serve_round(shard, halo, inbound):
+    if halo is None:
+        return shard.round(inbound)
+    for src, marker in inbound:
+        payload = (
+            halo.read_inbound(src) if marker[0] == "shm" else marker[1]
+        )
+        shard.apply_sync_one(src, payload)
+    finished, results, messages = shard.kernel.step()
+    finished, results = shard.owned(finished, results)
+    return (finished, results, messages, None, halo.write_outbound(shard))
+
+
+def _pool_worker(conn, arena):
+    """Persistent worker loop: load a run, serve its rounds, unload.
+
+    Spawned once per pool (fork inherits the halo arena mapping) and
+    reused across runs — the per-run shard state arrives pickled with
+    the ``load`` message.  Failures propagate as the worker's real
+    exception; the parent poisons the pool on receipt.
+    """
+    import pickle
+
+    shard = None
+    halo = None
+    try:
+        while True:
+            message = conn.recv()
+            kind = message[0]
+            if kind == "stop":
+                break
             try:
-                conn.send(("stop",))
+                if kind == "load":
+                    shard = pickle.loads(message[1])
+                    halo = (
+                        _HaloPlane(arena, shard.halo_regions, shard.index)
+                        if message[2] and arena is not None
+                        else None
+                    )
+                    conn.send(("ok", _serve_round0(shard, halo)))
+                elif kind == "round":
+                    conn.send(("ok", _serve_round(shard, halo, message[1])))
+                elif kind == "undone":
+                    conn.send(("ok", shard.undone()))
+                elif kind == "unload":
+                    shard = None
+                    halo = None
+            except BaseException as exc:
+                try:
+                    conn.send(("err", exc))
+                except Exception:
+                    try:
+                        conn.send(("err", RuntimeError(repr(exc))))
+                    except Exception:
+                        pass
+    except EOFError:  # parent went away; nothing left to report to
+        pass
+    finally:
+        conn.close()
+
+
+class WorkerPool:
+    """Persistent sharded-run workers sharing one halo arena (D13).
+
+    Workers are forked lazily on first use and reused across every run
+    dispatched while the pool is alive — each ``(A_i ; P)`` step of an
+    alternation re-dispatches to the warm pool instead of re-forking.
+    The halo arena is an anonymous ``MAP_SHARED`` mmap created *before*
+    the first fork, so every worker inherits the same physical pages:
+    ghost-state exchange is a memory copy between processes with no
+    pipe traffic, no pickling and no named-segment lifecycle to leak
+    (the mapping dies with the processes).  Growing the arena respawns
+    the workers (mappings cannot be resized post-fork); runs whose
+    plane never fits simply pipe their halos — correctness is
+    channel-independent by construction.
+    """
+
+    __slots__ = ("ctx", "workers", "arena", "arena_size", "broken")
+
+    def __init__(self, arena_bytes=_ARENA_MIN_BYTES):
+        import multiprocessing
+
+        self.ctx = multiprocessing.get_context("fork")
+        self.workers = []
+        self.arena_size = max(int(arena_bytes), _ARENA_MIN_BYTES)
+        self.arena = None
+        self.broken = False
+
+    def ensure_arena(self, nbytes):
+        """Make the halo arena at least ``nbytes`` big."""
+        if self.arena is not None and nbytes <= self.arena_size:
+            return
+        import mmap
+
+        if self.arena is not None:
+            self.stop_workers()
+            self.arena.close()
+            self.arena_size = max(nbytes, self.arena_size * 2)
+        else:
+            self.arena_size = max(nbytes, self.arena_size)
+        self.arena = mmap.mmap(-1, self.arena_size)
+
+    def lease(self, k):
+        """``k`` live workers (forked on demand), as ``(proc, conn)``."""
+        if any(not proc.is_alive() for proc, _ in self.workers):
+            # A worker died while idle (OOM kill, external signal):
+            # respawn the pool rather than dispatch to a corpse.
+            self.stop_workers()
+        if self.arena is None:
+            self.ensure_arena(self.arena_size)
+        while len(self.workers) < k:
+            parent_conn, child_conn = self.ctx.Pipe()
+            proc = self.ctx.Process(
+                target=_pool_worker,
+                args=(child_conn, self.arena),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self.workers.append((proc, parent_conn))
+        return self.workers[:k]
+
+    def worker_pids(self):
+        """Live worker pids (diagnostics and lifecycle tests)."""
+        return [proc.pid for proc, _ in self.workers]
+
+    def stop_workers(self):
+        _join_workers(
+            [proc for proc, _ in self.workers],
+            [conn for _, conn in self.workers],
+        )
+        self.workers = []
+
+    def poison(self):
+        """Tear the pool down after a worker failure; never reused."""
+        self.broken = True
+        self.shutdown()
+
+    def shutdown(self):
+        self.stop_workers()
+        if self.arena is not None:
+            self.arena.close()
+            self.arena = None
+
+
+#: Pool shared by every pooled run inside a ``pool_scope`` (see
+#: :func:`repro.local.runner.use_backend`); ``None`` between scopes.
+_POOL = None
+#: Nesting depth of active pool scopes.
+_POOL_SCOPES = 0
+
+
+def active_pool():
+    """The scope's shared pool, created lazily on the first pooled run."""
+    global _POOL
+    if _POOL is None:
+        _POOL = WorkerPool()
+    return _POOL
+
+
+@contextmanager
+def pool_scope():
+    """Context manager scoping the shared worker pool (D13).
+
+    ``use_backend("sharded", ...)`` (and any ``mp-pooled`` scope)
+    enters one: the first pooled run inside spawns the workers, every
+    later run re-dispatches to them, and the *outermost* exit joins the
+    pool — nested scopes share one pool and cannot leak workers.
+    """
+    global _POOL_SCOPES, _POOL
+    _POOL_SCOPES += 1
+    try:
+        yield
+    finally:
+        _POOL_SCOPES -= 1
+        if _POOL_SCOPES == 0 and _POOL is not None:
+            _POOL.shutdown()
+            _POOL = None
+
+
+class PooledChannel:
+    """Channel over the persistent pool: pickled load, shm halos.
+
+    Protocol per run: one ``load`` per shard (the pickled shard plus
+    whether the halo plane applies), then ``round``/``undone`` messages
+    mirroring :class:`ProcessChannel`, then one ``unload``.  Batched
+    shards exchange ghost state through the shared arena (the report
+    carries a marker, not the payload); per-node shards and oversized
+    payloads pipe their data exactly like the fork-per-run channel, so
+    every configuration stays bit-identical across channels.  A worker
+    failure raises the worker's real exception and poisons the pool —
+    the next pooled run starts a fresh one.
+    """
+
+    def __init__(self, pool, workers, owns_pool):
+        self.pool = pool
+        self.workers = workers
+        self.owns_pool = owns_pool
+        self.closed = False
+
+    @classmethod
+    def open(cls, shards):
+        """Dispatch a run to the pool, or ``None`` when the run's shard
+        state cannot ship to persistent workers (unpicklable processes
+        degrade to the fork-per-run channel, which inherits state)."""
+        import pickle
+
+        try:
+            blobs = [
+                pickle.dumps(shard, pickle.HIGHEST_PROTOCOL)
+                for shard in shards
+            ]
+        except Exception:
+            return None
+        owns = _POOL_SCOPES == 0
+        pool = WorkerPool() if owns else active_pool()
+        use_plane = bool(shards) and all(
+            isinstance(shard, BatchShard) for shard in shards
+        )
+        plane_total = shards[0].halo_total if use_plane else 0
+        use_plane = use_plane and plane_total > 0
+        try:
+            if use_plane:
+                pool.ensure_arena(plane_total)
+            workers = pool.lease(len(shards))
+            for (_, conn), blob in zip(workers, blobs):
+                conn.send(("load", blob, use_plane))
+        except Exception:
+            # Poison even the shared scope pool: a failed dispatch may
+            # leave dead or half-loaded workers behind, and the next
+            # pooled run must start from a fresh pool.
+            global _POOL
+            if _POOL is pool:
+                _POOL = None
+            pool.poison()
+            raise
+        return cls(pool, workers, owns)
+
+    def _poison(self):
+        global _POOL
+        self.closed = True
+        if _POOL is self.pool:
+            _POOL = None
+        self.pool.poison()
+
+    def _recv_all(self):
+        return _recv_reports(
+            [conn for _, conn in self.workers], self._poison
+        )
+
+    def _send_all(self, message_of):
+        # A send-side pipe failure means a worker died between rounds;
+        # poison so the scope respawns instead of re-hitting the corpse.
+        try:
+            for s, (_, conn) in enumerate(self.workers):
+                conn.send(message_of(s))
+        except (BrokenPipeError, OSError) as exc:
+            self._poison()
+            raise RuntimeError(
+                "sharded worker died without reporting"
+            ) from exc
+
+    def round0(self):
+        return self._recv_all()
+
+    def round(self, inbound):
+        self._send_all(lambda s: ("round", inbound[s]))
+        return self._recv_all()
+
+    def undone(self):
+        self._send_all(lambda s: ("undone",))
+        return self._recv_all()
+
+    def close(self):
+        if self.closed:
+            return
+        self.closed = True
+        for _, conn in self.workers:
+            try:
+                conn.send(("unload",))
             except (BrokenPipeError, OSError):
                 pass
-        for proc in self.procs:
-            proc.join(timeout=5)
-            if proc.is_alive():  # pragma: no cover - defensive cleanup
-                proc.terminate()
-                proc.join(timeout=5)
-        for conn in self.conns:
-            conn.close()
+        if self.owns_pool:
+            self.pool.shutdown()
 
 
 def open_channel(shards, channel):
-    """Build the requested channel (``"mp"`` falls back when fork is
-    unavailable — the inline exchange is the same protocol)."""
-    if channel == "mp" and fork_available():
+    """Build the requested channel.
+
+    ``"mp-pooled"`` degrades to ``"mp"`` when the run's shard state is
+    unpicklable (fork-per-run inherits state instead), and either
+    multiprocessing channel degrades to ``"inline"`` where fork is
+    unavailable — the exchange protocol is identical across all three.
+    """
+    if channel == "mp-pooled" and fork_available():
+        chan = PooledChannel.open(shards)
+        if chan is not None:
+            return chan
+        channel = "mp"
+    if channel in ("mp", "mp-pooled") and fork_available():
         return ProcessChannel(shards)
     return InlineChannel(shards)
 
@@ -666,6 +1156,7 @@ def build_batch_shards(algorithm, cg, part, *, inputs, guesses, seed, salt,
             guesses,
             rng_mode,
             _engine_draw_builder(bg, rng_mode, seed, salt),
+            sharded=True,
         )
 
     built = make_shard_kernels(

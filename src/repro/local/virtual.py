@@ -645,12 +645,13 @@ def _virtual_kernel(
     """
     factory = algorithm.batch
 
-    def setup_of(sub_bg):
+    def setup_of(sub_bg, sharded=False):
         return BatchSetup(
             virt_inputs,
             guesses,
             rng_mode,
             virtual_draw_builder(sub_bg, spec, physical, rng_mode, seed, salt),
+            sharded=sharded,
         )
 
     if (
@@ -676,7 +677,8 @@ def _virtual_kernel(
                 )
             part = plans[shards] = Partition(csr[0], csr[1], shards)
         built = make_shard_kernels(
-            factory, part, bg.labels, bg.idents, setup_of
+            factory, part, bg.labels, bg.idents,
+            lambda sub_bg: setup_of(sub_bg, sharded=True),
         )
         if built is not None:
             batch_shards = [

@@ -610,11 +610,15 @@ class TestShardEquivalence:
             )
             assert_results_equal(base, sharded, context=(k, rounds))
 
-    def test_mp_channel(self, small_gnp):
-        """The forked worker pool matches the inline channel exactly."""
+    @pytest.mark.parametrize("channel", ("mp", "mp-pooled"))
+    @pytest.mark.parametrize("k", SHARD_COUNTS)
+    def test_mp_channels(self, small_gnp, k, channel):
+        """Both multiprocessing channels match the inline one exactly
+        (fork-per-run and the persistent pool, D13), for every k."""
         for algorithm, guesses in (
             (luby_mis(), None),       # shard-certified kernel
-            (fast_mis(), {"m": small_gnp.max_ident, "Delta": small_gnp.max_degree}),  # per-node fallback
+            (fast_mis(), {"m": small_gnp.max_ident, "Delta": small_gnp.max_degree}),  # shard-certified since D13
+            (bitwise_ruling_set(), {"m": small_gnp.max_ident}),  # per-node fallback
         ):
             base = run(
                 small_gnp, algorithm, backend="compiled", rng="counter",
@@ -622,9 +626,9 @@ class TestShardEquivalence:
             )
             mp = run(
                 small_gnp, algorithm, rng="counter", seed=7,
-                guesses=guesses, shards=2, shard_channel="mp",
+                guesses=guesses, shards=k, shard_channel=channel,
             )
-            assert_results_equal(base, mp, context=algorithm.name)
+            assert_results_equal(base, mp, context=(algorithm.name, k, channel))
 
     def test_graph_smaller_than_shards(self):
         import networkx as nx
@@ -669,6 +673,7 @@ class TestShardEquivalence:
             {},
             {"shards": 3},
             {"shards": 3, "shard_channel": "mp"},
+            {"shards": 3, "shard_channel": "mp-pooled"},
         ):
             with pytest.raises(NonTerminationError) as excinfo:
                 run(small_gnp, luby_mis(), max_rounds=1, rng="counter",
@@ -692,12 +697,17 @@ class TestShardEquivalence:
         for label, algorithm, guesses in (
             ("luby", luby_mis(), None),  # shard-certified: sharded replay
             (
-                "fast-mis",  # uncertified: per-node sharded host sim
+                "fast-mis",  # shard-certified since D13: sharded replay
                 fast_mis(),
                 {
                     "m": small_gnp.max_ident**2,
                     "Delta": 2 * small_gnp.max_degree,
                 },
+            ),
+            (
+                "bitwise",  # uncertified: per-node sharded host sim
+                bitwise_ruling_set(),
+                {"m": small_gnp.max_ident**2},
             ),
         ):
             domain = VirtualDomain(small_gnp, spec)
@@ -709,6 +719,13 @@ class TestShardEquivalence:
                 backend="sharded", shards=k,
             )
             assert base == sharded, (k, label)
+            if k in (2, 3):
+                pooled = domain.run_restricted(
+                    algorithm, 24, seed=19, guesses=guesses,
+                    backend="sharded", shards=k,
+                    shard_channel="mp-pooled",
+                )
+                assert base == pooled, (k, label, "mp-pooled")
 
     def test_restricted_spec_substrate(self, small_gnp):
         """Sharded runs on an incrementally restricted VirtualSpec."""
@@ -755,9 +772,14 @@ class TestShardEquivalence:
         table = capability_table()
         assert table["luby"]["supports_shard"]
         assert table["luby"]["pruning"]["supports_shard"]
-        assert not table["mis-fast"]["supports_shard"]  # fast-mis kernel
+        # fast-mis/fast-coloring kernels are shard-certified since D13.
+        assert table["mis-fast"]["supports_shard"]
+        assert not table["mis-arb-product"]["supports_shard"]  # host orchestration
         caps = capabilities_of(luby_mis())
         assert caps["supports_batch"] and caps["supports_shard"]
+        for algo in (fast_mis(), fast_coloring()):
+            caps = capabilities_of(algo)
+            assert caps["supports_batch"] and caps["supports_shard"]
 
     def test_reference_backend_rejects_shards(self, small_gnp):
         from repro.errors import ParameterError
