@@ -89,6 +89,7 @@ def hash_luby_mis():
             priorities=_hash_priorities,
         ),
         shard=True,
+        fault_batch=True,
     )
 
 

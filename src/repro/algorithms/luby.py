@@ -108,6 +108,18 @@ class LubyBatchKernel:
     finish with 1 and broadcast the win); even rounds retire their
     neighbours (finish 0), apply the Monte-Carlo phase budget, and
     redraw bids for the survivors.
+
+    Fault injection (DESIGN.md D14, ``faults`` a
+    :class:`~repro.local.faults.BatchFaults` view or ``None``): crashed
+    nodes are force-finished before the round's logic, silenced/dropped
+    bids and wins are masked out of the rival/heard relations via
+    ``tainted_in`` (garbles too — a garbled payload fails the tag
+    check), and message counts use the sender-side ``delivered_out``
+    mask.  ``bidders`` snapshots aliveness at each bid round because the
+    honest path's ``alive[nb]`` proxy breaks when a bidder crashes at
+    the decision round — its already-sent bid must still beat its
+    neighbours.  The honest branches below are the pre-D14 code
+    verbatim.
     """
 
     __slots__ = (
@@ -120,9 +132,12 @@ class LubyBatchKernel:
         "winners",
         "deciding",
         "done",
+        "rounds",
+        "bidders",
+        "faults",
     )
 
-    def __init__(self, bg, draws, budget):
+    def __init__(self, bg, draws, budget, faults=None):
         np = batch.numpy_or_none()
         self.bg = bg
         self.draws = draws
@@ -133,6 +148,9 @@ class LubyBatchKernel:
         self.winners = None
         self.deciding = True
         self.done = False
+        self.rounds = 0
+        self.bidders = None
+        self.faults = faults
 
     def undone_indices(self):
         np = batch.numpy_or_none()
@@ -144,10 +162,46 @@ class LubyBatchKernel:
         self.phase += 1
         idx = np.flatnonzero(self.alive)
         self.prio[idx] = self.draws(idx, self.phase)
-        return int(self.bg.degrees[idx].sum())
+        if self.faults is None:
+            return int(self.bg.degrees[idx].sum())
+        self.bidders = self.alive.copy()
+        delivered = self.faults.delivered_out(self.rounds)
+        return int((delivered & self.alive[self.bg.owner]).sum())
+
+    def _apply_crashes(self):
+        """Force-finish nodes crashing this round, before any logic.
+
+        Returns ``(finished indices, results)`` — empty when no active
+        node crashes at the current round.
+        """
+        np = batch.numpy_or_none()
+        crashed = self.faults.crashed_at(self.rounds)
+        if crashed is None:
+            return [], []
+        crashed = crashed & self.alive
+        idx = np.flatnonzero(crashed).tolist()
+        if idx:
+            self.alive = self.alive & ~crashed
+        crash_out = self.faults.crash_out
+        return idx, [crash_out[i] for i in idx]
 
     def start(self):
         np = batch.numpy_or_none()
+        if self.faults is not None:
+            finished, results = self._apply_crashes()
+            isolated = np.flatnonzero(
+                ~self.alive & (self.bg.degrees == 0)
+            ).tolist()
+            if self.faults.has_crash:
+                crashed0 = self.faults.crashed_at(0)
+                if crashed0 is not None:
+                    isolated = [i for i in isolated if not crashed0[i]]
+            finished.extend(isolated)
+            results.extend([1] * len(isolated))
+            if not self.alive.any():
+                self.done = True
+                return finished, results, 0
+            return finished, results, self._draw_bids()
         isolated = np.flatnonzero(~self.alive).tolist()
         if not self.alive.any():
             self.done = True
@@ -158,12 +212,24 @@ class LubyBatchKernel:
     def step(self):
         np = batch.numpy_or_none()
         bg = self.bg
+        self.rounds += 1
+        faults = self.faults
+        crashed_idx, crashed_results = (
+            self._apply_crashes() if faults is not None else ([], [])
+        )
         alive = self.alive
         if self.deciding:
             # Decision round: a bidder beating every live rival joins.
             own, nb = bg.owner, bg.neigh
             po, pn = self.prio[own], self.prio[nb]
-            rival = alive[own] & alive[nb]
+            if faults is None:
+                rival = alive[own] & alive[nb]
+            else:
+                rival = (
+                    alive[own]
+                    & self.bidders[nb]
+                    & ~faults.tainted_in(self.rounds - 1)
+                )
             rival &= (pn < po) | ((pn == po) & (nb < own))
             beaten = batch.row_flags(own[rival], bg.n)
             winners = alive & ~beaten
@@ -171,15 +237,28 @@ class LubyBatchKernel:
             self.winners = winners
             self.deciding = False
             self.done = not bool(self.alive.any())
-            finished = np.flatnonzero(winners).tolist()
-            messages = int(bg.degrees[winners].sum())
-            return finished, [1] * len(finished), messages
+            finished = crashed_idx + np.flatnonzero(winners).tolist()
+            results = crashed_results + [1] * (len(finished) - len(crashed_idx))
+            if faults is None:
+                messages = int(bg.degrees[winners].sum())
+            else:
+                messages = int(
+                    (faults.delivered_out(self.rounds) & winners[bg.owner]).sum()
+                )
+            return finished, results, messages
         # Retirement round: losers hear the wins, survivors rebid.
-        heard = self.winners[bg.neigh] & alive[bg.owner]
+        if faults is None:
+            heard = self.winners[bg.neigh] & alive[bg.owner]
+        else:
+            heard = (
+                self.winners[bg.neigh]
+                & ~faults.tainted_in(self.rounds - 1)
+                & alive[bg.owner]
+            )
         retired = alive & batch.row_flags(bg.owner[heard], bg.n)
         alive = alive & ~retired
-        finished = np.flatnonzero(retired).tolist()
-        results = [0] * len(finished)
+        finished = crashed_idx + np.flatnonzero(retired).tolist()
+        results = crashed_results + [0] * (len(finished) - len(crashed_idx))
         if self.budget is not None and self.phase >= self.budget:
             cut = np.flatnonzero(alive).tolist()
             finished.extend(cut)
@@ -212,7 +291,7 @@ def _luby_batch_factory(budget_of=None, priorities=None):
         else:
             draws = setup.draw_source(62).draws
         budget = budget_of(setup.guesses) if budget_of is not None else None
-        return LubyBatchKernel(bg, draws, budget)
+        return LubyBatchKernel(bg, draws, budget, faults=setup.faults)
 
     return factory
 
@@ -226,6 +305,7 @@ def luby_mis():
         randomized=True,
         batch=_luby_batch_factory(),
         shard=True,
+        fault_batch=True,
     )
 
 
@@ -262,6 +342,7 @@ def luby_mc():
         randomized=True,
         batch=_luby_batch_factory(budget_of=lambda g: mc_phases(g["n"])),
         shard=True,
+        fault_batch=True,
     )
 
 

@@ -11,21 +11,85 @@ class NonTerminationError(ReproError):
     Raised only when the caller did not request truncation (i.e. gave no
     ``default_output``).  The paper's *restriction to i rounds* operator
     (Section 2) is the truncating variant and never raises.
+
+    ``shard_counts`` is populated by the sharded engine: a mapping
+    ``shard index -> unfinished node count`` so a partitioned run's
+    diagnostics show *where* the stragglers live, not just how many.
     """
 
-    def __init__(self, algorithm_name, rounds, unfinished):
+    def __init__(self, algorithm_name, rounds, unfinished, shard_counts=None):
         self.algorithm_name = algorithm_name
         self.rounds = rounds
         self.unfinished = tuple(unfinished)
+        self.shard_counts = dict(shard_counts) if shard_counts else None
         message = (
             f"algorithm {algorithm_name!r} did not terminate within "
             f"{rounds} rounds; {len(self.unfinished)} node(s) unfinished"
         )
+        if self.shard_counts:
+            per_shard = ", ".join(
+                f"shard {s}: {count}"
+                for s, count in sorted(self.shard_counts.items())
+            )
+            message += f" ({per_shard})"
         super().__init__(message)
 
 
 class ParameterError(ReproError):
     """A required global-parameter guess is missing or malformed."""
+
+
+class FaultError(ReproError):
+    """Base class of the fault-injection / resilience error family (D14).
+
+    Covers both *modelled* faults (a malformed :class:`FaultPlan`) and
+    *infrastructure* faults of the sharded channels (a worker process
+    that hung or died).  The sharded retry ladder only retries
+    subclasses flagged ``retryable`` — a worker's real exception is a
+    bug to surface, not an outage to paper over.
+    """
+
+    #: Whether the sharded run may re-dispatch after this failure.
+    retryable = False
+
+
+class WorkerTimeoutError(FaultError):
+    """A shard worker failed to report within the per-round timeout.
+
+    The parent-side receive loop polls with a deadline instead of
+    blocking forever, so a hung (or SIGSTOPped, or livelocked) worker
+    surfaces as this error with the shard index and round attached —
+    and the run retries once before degrading to the inline channel.
+    """
+
+    retryable = True
+
+    def __init__(self, shard, round_no, timeout):
+        self.shard = shard
+        self.round_no = round_no
+        self.timeout = timeout
+        super().__init__(
+            f"sharded worker {shard} did not report round {round_no} "
+            f"within {timeout:.1f}s"
+        )
+
+
+class WorkerDiedError(FaultError, RuntimeError):
+    """A shard worker died without reporting (EOF / broken pipe).
+
+    Subclasses :class:`RuntimeError` for compatibility with callers that
+    matched the pre-D14 generic failure; the message is kept verbatim.
+    """
+
+    retryable = True
+
+    def __init__(self, message="sharded worker died without reporting",
+                 shard=None, round_no=None):
+        self.shard = shard
+        self.round_no = round_no
+        if shard is not None:
+            message = f"{message} (shard {shard}, round {round_no})"
+        super().__init__(message)
 
 
 class InvalidInstanceError(ReproError):

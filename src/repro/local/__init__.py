@@ -19,10 +19,23 @@ from .msgsize import estimate_bits
 from .composition import Chain, default_carry
 from .context import CounterRNG, NodeContext, make_rng
 from .engine import CompiledGraph, Partition
+from .faults import (
+    GARBLED,
+    FaultPlan,
+    byzantine_silent,
+    crash_at,
+    drop,
+    garble,
+    honest,
+    sample_plan,
+    set_default_faults,
+    use_faults,
+)
 from .graph import SimGraph
 from .message import Broadcast
 from .runner import (
     RunResult,
+    last_faults,
     run,
     run_restricted,
     set_batch_enabled,
@@ -44,11 +57,19 @@ __all__ = [
     "Chain",
     "CompiledGraph",
     "CounterRNG",
+    "FaultPlan",
     "FunctionProcess",
+    "GARBLED",
     "HostAlgorithm",
     "LocalAlgorithm",
     "Partition",
+    "byzantine_silent",
+    "crash_at",
+    "drop",
     "estimate_bits",
+    "garble",
+    "honest",
+    "last_faults",
     "NodeContext",
     "NodeProcess",
     "RunResult",
@@ -59,6 +80,9 @@ __all__ = [
     "make_rng",
     "run",
     "run_restricted",
+    "sample_plan",
+    "set_default_faults",
+    "use_faults",
     "run_virtual_batch",
     "run_virtual_batch_full",
     "set_batch_enabled",

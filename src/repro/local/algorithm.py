@@ -79,14 +79,17 @@ class LocalAlgorithm:
         shard through the (always-exact) per-node stepping instead.
     """
 
-    __slots__ = ("name", "process", "requires", "randomized", "batch", "shard")
+    __slots__ = (
+        "name", "process", "requires", "randomized", "batch", "shard",
+        "fault_batch",
+    )
 
     #: Domain kinds a per-node algorithm runs on (capability record).
     domains = ("physical", "virtual")
 
     def __init__(
         self, name, process, requires=(), randomized=False, batch=None,
-        shard=False,
+        shard=False, fault_batch=False,
     ):
         self.name = name
         self.process = process
@@ -94,6 +97,7 @@ class LocalAlgorithm:
         self.randomized = bool(randomized)
         self.batch = batch
         self.shard = bool(shard)
+        self.fault_batch = bool(fault_batch)
 
     @property
     def uniform(self):
@@ -107,8 +111,11 @@ class LocalAlgorithm:
         processes through the runner; ``"host"``: self-restricting
         orchestration), ``supports_batch`` whether a frontier kernel is
         registered, ``supports_shard`` whether that kernel is certified
-        for partitioned execution (D12), ``domains`` where the
-        algorithm may execute.  The registry
+        for partitioned execution (D12),
+        ``supports_faulted_batch`` whether it additionally consumes
+        fault-injection masks (D14 — uncertified kernels fall back to
+        the always-exact per-node stepping under an active plan),
+        ``domains`` where the algorithm may execute.  The registry
         (``repro.algorithms.registry``) aggregates these per Table-1
         row.
         """
@@ -116,6 +123,8 @@ class LocalAlgorithm:
             "kind": "node",
             "supports_batch": self.batch is not None,
             "supports_shard": self.shard and self.batch is not None,
+            "supports_faulted_batch": self.fault_batch
+            and self.batch is not None,
             "domains": self.domains,
             "randomized": self.randomized,
             "uniform": self.uniform,
@@ -171,6 +180,7 @@ class HostAlgorithm:
             "kind": "host",
             "supports_batch": False,
             "supports_shard": False,
+            "supports_faulted_batch": False,
             "domains": self.domains,
             "randomized": self.randomized,
             "uniform": self.uniform,

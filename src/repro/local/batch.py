@@ -235,15 +235,26 @@ class BatchSetup:
     halo exchange (D12/D13): factories whose state cannot live in the
     synced array plane for a configuration (e.g. big-integer colors)
     return ``None`` then, and the run falls back to per-node sharding.
+    ``faults`` is the run's :class:`~repro.local.faults.BatchFaults`
+    view over this kernel's CSR (``None`` for honest runs); only
+    factories of fault-certified algorithms (capability
+    ``supports_faulted_batch``) ever see a non-``None`` value — the
+    engine gates everyone else back to the per-node paths (D14).
     """
 
-    __slots__ = ("inputs", "guesses", "rng_mode", "sharded", "_draw_builder")
+    __slots__ = (
+        "inputs", "guesses", "rng_mode", "sharded", "faults", "_draw_builder"
+    )
 
-    def __init__(self, inputs, guesses, rng_mode, draw_builder, sharded=False):
+    def __init__(
+        self, inputs, guesses, rng_mode, draw_builder, sharded=False,
+        faults=None,
+    ):
         self.inputs = inputs
         self.guesses = guesses
         self.rng_mode = rng_mode
         self.sharded = sharded
+        self.faults = faults
         self._draw_builder = draw_builder
 
     def draw_source(self, bits=62):
@@ -380,7 +391,8 @@ class LockstepKernel:
 
 
 def make_engine_kernel(
-    algorithm, cg, *, inputs, guesses, seed, salt, rng_mode, track_bits, enabled
+    algorithm, cg, *, inputs, guesses, seed, salt, rng_mode, track_bits,
+    enabled, faults=None,
 ):
     """Build the run's batch kernel, or ``None`` to step per node.
 
@@ -388,7 +400,10 @@ def make_engine_kernel(
     batching disabled, numpy missing, message-size tracking requested
     (payload bits are a property of the materialized tuples the batch
     path never builds), an empty graph, or the factory itself declining
-    the configuration (e.g. palette bounds it cannot represent).
+    the configuration (e.g. palette bounds it cannot represent).  An
+    active fault plan additionally requires the fault-certified
+    capability (``supports_faulted_batch``, D14) — uncertified kernels
+    would silently ignore the adversary, so they fall back per node.
     Eligibility is read off the algorithm's capability record
     (``supports_batch``), the same table the registry and the
     transformers dispatch on — not off the concrete class.
@@ -397,11 +412,18 @@ def make_engine_kernel(
         return None
     from .algorithm import capabilities_of
 
-    if not capabilities_of(algorithm).get("supports_batch"):
+    caps = capabilities_of(algorithm)
+    if not caps.get("supports_batch"):
+        return None
+    if faults is not None and not caps.get("supports_faulted_batch"):
         return None
     factory = algorithm.batch
     bg = batch_graph_of(cg)
     setup = BatchSetup(
-        inputs, guesses, rng_mode, _engine_draw_builder(bg, rng_mode, seed, salt)
+        inputs,
+        guesses,
+        rng_mode,
+        _engine_draw_builder(bg, rng_mode, seed, salt),
+        faults=faults.batch_view(bg) if faults is not None else None,
     )
     return factory(bg, setup)

@@ -43,6 +43,7 @@ from contextlib import contextmanager
 from ..errors import NonTerminationError, ParameterError
 from .algorithm import capabilities_of
 from .context import NodeContext, rng_source
+from .faults import DROP, GARBLE, GARBLED, resolve_faults
 from .message import Broadcast, normalize_outgoing
 from .msgsize import estimate_bits
 
@@ -108,6 +109,24 @@ def note_stepping(kind):
 def last_stepping():
     """Stepping strategy of the most recent run (``None`` if none ran)."""
     return _LAST_STEPPING
+
+
+#: Fault-plan summary of the most recent run (``None`` when the run was
+#: honest) — the same diagnostic channel as :data:`_LAST_STEPPING`: the
+#: alternation engine samples it per step so traces can show which runs
+#: executed under an adversary without widening :class:`RunResult`.
+_LAST_FAULTS = None
+
+
+def note_faults(description):
+    """Record the fault-plan summary of the latest run (or ``None``)."""
+    global _LAST_FAULTS
+    _LAST_FAULTS = description
+
+
+def last_faults():
+    """Fault summary of the most recent run (``None`` if it was honest)."""
+    return _LAST_FAULTS
 
 
 def set_batch_enabled(enabled):
@@ -326,6 +345,7 @@ def run(
     rng=None,
     shards=None,
     shard_channel=None,
+    faults=None,
 ):
     """Execute ``algorithm`` on ``graph`` and return a :class:`RunResult`.
 
@@ -382,6 +402,12 @@ def run(
         the pool across runs by wrapping the pipeline in
         ``use_backend("sharded", ...)``).  ``None`` uses
         :data:`DEFAULT_SHARD_CHANNEL`.
+    faults:
+        Optional :class:`~repro.local.faults.FaultPlan` of adversarial
+        node profiles (DESIGN.md D14); ``None`` falls back to the
+        ambient plan pinned by :func:`~repro.local.faults.use_faults`.
+        An injected run is a pure function of its arguments plus the
+        plan and bit-identical across every backend and shard channel.
     """
     if capabilities_of(algorithm).get("kind") != "node":
         raise TypeError(f"expected LocalAlgorithm, got {type(algorithm).__name__}")
@@ -402,6 +428,11 @@ def run(
     backend, rng_mode, shards, shard_channel = resolve_execution(
         backend, rng, shards, shard_channel
     )
+    plan = resolve_faults(faults)
+    # Compiled once per run: the scalar per-run view every executor
+    # consumes (batch kernels derive their vectorized twin from it).
+    faults = plan.compile(graph.nodes, graph.ident, seed, salt) if plan else None
+    note_faults(plan.describe() if faults is not None else None)
     if shards is not None:
         from .sharded import run_sharded
 
@@ -421,6 +452,7 @@ def run(
             use_batch=batching_requested(backend),
             shards=shards,
             channel=shard_channel,
+            faults=faults,
         )
     if backend != "reference":
         from .engine import run_compiled
@@ -439,6 +471,7 @@ def run(
             rng_mode=rng_mode,
             result_cls=RunResult,
             use_batch=batching_requested(backend),
+            faults=faults,
         )
     return _run_reference(
         graph,
@@ -452,6 +485,7 @@ def run(
         default_output=default_output,
         track_bits=track_bits,
         rng_mode=rng_mode,
+        faults=faults,
     )
 
 
@@ -468,11 +502,18 @@ def _run_reference(
     default_output,
     track_bits,
     rng_mode,
+    faults=None,
 ):
     """The specification loop: dict inboxes reallocated every round.
 
     Kept verbatim from the seed implementation (modulo the pluggable rng
-    scheme) as the oracle for the compiled engine's equivalence suite.
+    scheme and the ``faults is not None`` guards) as the oracle for the
+    compiled engine's equivalence suite — including the faulted-run
+    semantics of DESIGN.md D14: a crash-stop node is force-finished
+    before acting at its crash round, a silenced sender's messages never
+    leave it (uncounted), dropped messages vanish in flight (uncounted),
+    garbled ones arrive as :data:`GARBLED` (counted — the bytes
+    travelled — and sized as sent).
     """
     note_stepping("reference")
     make_gen = rng_source(rng_mode, seed, salt)
@@ -498,11 +539,14 @@ def _run_reference(
     # Round 0: wake-up.  `pending[u]` maps the receiver's port -> payload.
     pending = {u: {} for u in graph.nodes}
 
-    def route(u, outgoing):
+    def route(u, outgoing, rnd):
         nonlocal messages, max_bits
         outgoing = normalize_outgoing(outgoing, graph.degree(u))
         if outgoing is None:
             return
+        if faults is not None and faults.silenced(u, rnd):
+            return
+        ident = graph.ident
         if isinstance(outgoing, Broadcast):
             payload = outgoing.payload
             if track_bits:
@@ -510,6 +554,14 @@ def _run_reference(
                 if bits > max_bits:
                     max_bits = bits
             for _, v, reverse_port in graph.adj[u]:
+                if faults is not None:
+                    fate = faults.decide(u, ident[u], ident[v], rnd)
+                    if fate == DROP:
+                        continue
+                    if fate == GARBLE:
+                        pending[v][reverse_port] = GARBLED
+                        messages += 1
+                        continue
                 pending[v][reverse_port] = payload
                 messages += 1
             return
@@ -520,12 +572,24 @@ def _run_reference(
                 if bits > max_bits:
                     max_bits = bits
             _, v, reverse_port = adj[port]
+            if faults is not None:
+                fate = faults.decide(u, ident[u], ident[v], rnd)
+                if fate == DROP:
+                    continue
+                if fate == GARBLE:
+                    payload = GARBLED
             pending[v][reverse_port] = payload
             messages += 1
 
     for u in graph.nodes:
+        if faults is not None:
+            crashed = faults.crash_of(u)
+            if crashed is not None and crashed[0] == 0:
+                outputs[u] = crashed[1]
+                finish_round[u] = 0
+                continue
         process = processes[u]
-        route(u, process.start())
+        route(u, process.start(), 0)
         if process.done:
             outputs[u] = process.result
             finish_round[u] = 0
@@ -553,8 +617,14 @@ def _run_reference(
         pending = {u: {} for u in graph.nodes}
         still_active = []
         for u in active:
+            if faults is not None:
+                crashed = faults.crash_of(u)
+                if crashed is not None and crashed[0] == rounds:
+                    outputs[u] = crashed[1]
+                    finish_round[u] = rounds
+                    continue
             process = processes[u]
-            route(u, process.receive(delivery[u]))
+            route(u, process.receive(delivery[u]), rounds)
             if process.done:
                 outputs[u] = process.result
                 finish_round[u] = rounds

@@ -53,9 +53,16 @@ the ``sharded(k) ≡ batch ≡ compiled ≡ reference`` contract enforced by
 
 from __future__ import annotations
 
+import os
+import time
 from contextlib import contextmanager
 
-from ..errors import NonTerminationError
+from ..errors import (
+    FaultError,
+    NonTerminationError,
+    WorkerDiedError,
+    WorkerTimeoutError,
+)
 from .algorithm import LocalAlgorithm, capabilities_of
 from .batch import (
     _engine_draw_builder,
@@ -64,8 +71,29 @@ from .batch import (
     numpy_or_none,
 )
 from .context import NodeContext, rng_source
+from .faults import DROP, GARBLE, GARBLED
 from .message import Broadcast, normalize_outgoing
 from .msgsize import estimate_bits
+
+#: Per-round deadline (seconds) for collecting every worker's report.
+#: A worker that hangs past it surfaces as
+#: :class:`~repro.errors.WorkerTimeoutError` instead of blocking the
+#: parent forever; values <= 0 disable the deadline.  Read at call time
+#: so tests (and operators, via ``REPRO_SHARD_TIMEOUT``) can tighten it.
+try:
+    SHARD_TIMEOUT = float(os.environ.get("REPRO_SHARD_TIMEOUT", "") or 30.0)
+except ValueError:  # pragma: no cover - malformed environment
+    SHARD_TIMEOUT = 30.0
+
+#: Pause before the retry attempt of the resilience ladder (seconds) —
+#: long enough for a transiently-starved machine to recover, short
+#: enough to be invisible next to the re-fork it precedes.
+try:
+    SHARD_RETRY_BACKOFF = float(
+        os.environ.get("REPRO_SHARD_RETRY_BACKOFF", "") or 0.1
+    )
+except ValueError:  # pragma: no cover - malformed environment
+    SHARD_RETRY_BACKOFF = 0.1
 
 
 def fork_available():
@@ -256,9 +284,16 @@ class PerNodeShard:
         "nxt",
         "nxt_touched",
         "max_bits",
+        "faults",
+        "g_labels",
+        "g_idents",
+        "round_no",
     )
 
-    def __init__(self, index, lo, procs, rows, track_bits):
+    def __init__(
+        self, index, lo, procs, rows, track_bits, faults=None, labels=None,
+        idents=None,
+    ):
         self.index = index
         self.lo = lo
         self.procs = procs
@@ -271,6 +306,15 @@ class PerNodeShard:
         self.nxt = [None] * n
         self.nxt_touched = []
         self.max_bits = 0
+        # D14 injection state: the run's CompiledFaults plus the global
+        # label/ident tables (fault decisions are keyed by the *global*
+        # endpoint identities, so every shard derives the same per-edge
+        # fate).  All None for honest runs — nothing extra is forked or
+        # pickled then.
+        self.faults = faults
+        self.g_labels = labels
+        self.g_idents = idents
+        self.round_no = 0
 
     def _note_bits(self, payload):
         bits = estimate_bits(payload)
@@ -324,6 +368,85 @@ class PerNodeShard:
             count += 1
         return count
 
+    def _deliver_faulted(self, t, outgoing, out_remote):
+        """Faulted :meth:`_deliver` (DESIGN.md D14), reference-exact.
+
+        Silenced senders produce nothing (uncounted, unsized — the
+        payload never leaves the node), dropped payloads vanish in
+        flight (uncounted, but dict-path payloads are still sized as in
+        the reference), garbled payloads arrive as :data:`GARBLED`
+        (counted, sized as sent).  Fault fates are keyed by the global
+        endpoint identities: an in-shard target is the receiver's owned
+        slot (global ``lo + target``) while a remote target is already a
+        global index, so both sides of a cut edge derive the same fate.
+        """
+        faults = self.faults
+        rnd = self.round_no
+        lo = self.lo
+        label = self.g_labels[lo + t]
+        if faults.silenced(label, rnd):
+            return 0
+        idents = self.g_idents
+        ident = idents[lo + t]
+        decide = faults.decide
+        row = self.rows[t]
+        nxt = self.nxt
+        touch = self.nxt_touched.append
+        if isinstance(outgoing, Broadcast):
+            payload = outgoing.payload
+            if self.track_bits:
+                self._note_bits(payload)
+            count = 0
+            for dest, target, rp in row:
+                receiver = idents[lo + target if dest is None else target]
+                fate = decide(label, ident, receiver, rnd)
+                if fate == DROP:
+                    continue
+                body = GARBLED if fate == GARBLE else payload
+                if dest is None:
+                    box = nxt[target]
+                    if box is None:
+                        box = nxt[target] = {}
+                        touch(target)
+                    box[rp] = body
+                else:
+                    bucket = out_remote.get(dest)
+                    if bucket is None:
+                        bucket = out_remote[dest] = []
+                    bucket.append((target, rp, body))
+                count += 1
+            return count
+        if not isinstance(outgoing, dict):
+            normalize_outgoing(outgoing, len(row))  # raises TypeError
+        degree = len(row)
+        count = 0
+        for port, payload in outgoing.items():
+            if not isinstance(port, int) or port < 0 or port >= degree:
+                # Re-raise with the specification's exact diagnostics.
+                normalize_outgoing(outgoing, degree)
+            if self.track_bits:
+                self._note_bits(payload)
+            dest, target, rp = row[port]
+            receiver = idents[lo + target if dest is None else target]
+            fate = decide(label, ident, receiver, rnd)
+            if fate == DROP:
+                continue
+            if fate == GARBLE:
+                payload = GARBLED
+            if dest is None:
+                box = nxt[target]
+                if box is None:
+                    box = nxt[target] = {}
+                    touch(target)
+                box[rp] = payload
+            else:
+                bucket = out_remote.get(dest)
+                if bucket is None:
+                    bucket = out_remote[dest] = []
+                bucket.append((target, rp, payload))
+            count += 1
+        return count
+
     def round0(self):
         out_remote = {}
         finished = []
@@ -331,10 +454,18 @@ class PerNodeShard:
         messages = 0
         lo = self.lo
         add_active = self.active.append
+        faults = self.faults
+        deliver = self._deliver if faults is None else self._deliver_faulted
         for t, process in enumerate(self.procs):
+            if faults is not None:
+                crashed = faults.crash_of(self.g_labels[lo + t])
+                if crashed is not None and crashed[0] == 0:
+                    finished.append(lo + t)
+                    results.append(crashed[1])
+                    continue
             outgoing = process.start()
             if outgoing is not None:
-                messages += self._deliver(t, outgoing, out_remote)
+                messages += deliver(t, outgoing, out_remote)
             if process.done:
                 finished.append(lo + t)
                 results.append(process.result)
@@ -343,6 +474,7 @@ class PerNodeShard:
         return (finished, results, messages, self.max_bits, out_remote)
 
     def round(self, inbound):
+        self.round_no += 1
         # Swap buffers: `cur` now holds everything delivered last round.
         self.cur, self.cur_touched, self.nxt, self.nxt_touched = (
             self.nxt,
@@ -367,13 +499,24 @@ class PerNodeShard:
         procs = self.procs
         still_active = []
         add_still = still_active.append
+        faults = self.faults
+        deliver = self._deliver if faults is None else self._deliver_faulted
+        rnd = self.round_no
         for t in self.active:
+            if faults is not None:
+                crashed = faults.crash_of(self.g_labels[lo + t])
+                if crashed is not None and crashed[0] == rnd:
+                    # Crash-stop: force-finished before receiving or
+                    # acting at the crash round (DESIGN.md D14).
+                    finished.append(lo + t)
+                    results.append(crashed[1])
+                    continue
             process = procs[t]
             box = cur[t]
             inbox = dict(sorted(box.items())) if box else {}
             outgoing = process.receive(inbox)
             if outgoing is not None:
-                messages += self._deliver(t, outgoing, out_remote)
+                messages += deliver(t, outgoing, out_remote)
             if process.done:
                 finished.append(lo + t)
                 results.append(process.result)
@@ -429,25 +572,37 @@ class InlineChannel:
         pass
 
 
-def _recv_reports(conns, on_failure):
+def _recv_reports(conns, on_failure, round_no=0):
     """Collect one reply per worker; surface the first failure.
 
     Shared by the fork-per-run and pooled channels so worker-failure
-    detection cannot drift between them.  ``on_failure()`` runs once
-    before the failure is re-raised — closing the forked pool, or
-    poisoning the persistent one.
+    detection cannot drift between them.  The receive polls against a
+    shared per-round deadline (:data:`SHARD_TIMEOUT`) instead of
+    blocking — a SIGKILLed worker surfaces as
+    :class:`~repro.errors.WorkerDiedError` (EOF on its pipe) and a hung
+    one as :class:`~repro.errors.WorkerTimeoutError`, both carrying the
+    shard index and round and both retryable by the resilience ladder
+    in :func:`run_sharded`.  ``on_failure()`` runs once before the
+    failure is raised — closing the forked pool, or poisoning the
+    persistent one.
     """
+    timeout = SHARD_TIMEOUT
+    deadline = time.monotonic() + timeout if timeout > 0 else None
     reports = []
     failure = None
-    for conn in conns:
+    for s, conn in enumerate(conns):
         try:
+            if deadline is not None and not conn.poll(
+                max(0.0, deadline - time.monotonic())
+            ):
+                failure = WorkerTimeoutError(s, round_no, timeout)
+                break
             tag, payload = conn.recv()
         except (EOFError, OSError):
-            tag, payload = "err", RuntimeError(
-                "sharded worker died without reporting"
-            )
-        if tag == "err" and failure is None:
+            tag, payload = "err", WorkerDiedError(shard=s, round_no=round_no)
+        if tag == "err":
             failure = payload
+            break
         reports.append(payload)
     if failure is not None:
         on_failure()
@@ -455,16 +610,23 @@ def _recv_reports(conns, on_failure):
     return reports
 
 
-def _join_workers(procs, conns):
-    """Stop, join (terminating stragglers) and disconnect workers."""
-    for conn in conns:
-        try:
-            conn.send(("stop",))
-        except (BrokenPipeError, OSError):
-            pass
+def _join_workers(procs, conns, grace=True):
+    """Stop, join (terminating stragglers) and disconnect workers.
+
+    ``grace=False`` is the abort path after a timeout or death: a hung
+    worker would sit out the full graceful join, so it is terminated
+    outright — the retry ladder rebuilds fresh workers anyway.
+    """
+    if grace:
+        for conn in conns:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in procs:
+            proc.join(timeout=5)
     for proc in procs:
-        proc.join(timeout=5)
-        if proc.is_alive():  # pragma: no cover - defensive cleanup
+        if proc.is_alive():
             proc.terminate()
             proc.join(timeout=5)
     for conn in conns:
@@ -513,6 +675,7 @@ class ProcessChannel:
         ctx = multiprocessing.get_context("fork")
         self.conns = []
         self.procs = []
+        self.round_no = 0
         for shard in shards:
             parent_conn, child_conn = ctx.Pipe()
             proc = ctx.Process(
@@ -523,20 +686,36 @@ class ProcessChannel:
             self.conns.append(parent_conn)
             self.procs.append(proc)
 
+    def _abort(self):
+        _join_workers(self.procs, self.conns, grace=False)
+
     def _recv_all(self):
-        return _recv_reports(self.conns, self.close)
+        return _recv_reports(self.conns, self._abort, self.round_no)
 
     def round0(self):
         return self._recv_all()
 
     def round(self, inbound):
+        self.round_no += 1
         for s, conn in enumerate(self.conns):
-            conn.send(("round", inbound[s]))
+            try:
+                conn.send(("round", inbound[s]))
+            except (BrokenPipeError, OSError) as exc:
+                self._abort()
+                raise WorkerDiedError(
+                    shard=s, round_no=self.round_no
+                ) from exc
         return self._recv_all()
 
     def undone(self):
-        for conn in self.conns:
-            conn.send(("undone",))
+        for s, conn in enumerate(self.conns):
+            try:
+                conn.send(("undone",))
+            except (BrokenPipeError, OSError) as exc:
+                self._abort()
+                raise WorkerDiedError(
+                    shard=s, round_no=self.round_no
+                ) from exc
         return self._recv_all()
 
     def close(self):
@@ -797,17 +976,25 @@ class WorkerPool:
         """Live worker pids (diagnostics and lifecycle tests)."""
         return [proc.pid for proc, _ in self.workers]
 
-    def stop_workers(self):
+    def stop_workers(self, grace=True):
         _join_workers(
             [proc for proc, _ in self.workers],
             [conn for _, conn in self.workers],
+            grace=grace,
         )
         self.workers = []
 
     def poison(self):
-        """Tear the pool down after a worker failure; never reused."""
+        """Tear the pool down after a worker failure; never reused.
+
+        Gracelessly: a hung worker would stall the stop handshake for
+        the full join timeout, and the pool is being discarded anyway.
+        """
         self.broken = True
-        self.shutdown()
+        self.stop_workers(grace=False)
+        if self.arena is not None:
+            self.arena.close()
+            self.arena = None
 
     def shutdown(self):
         self.stop_workers()
@@ -870,6 +1057,7 @@ class PooledChannel:
         self.workers = workers
         self.owns_pool = owns_pool
         self.closed = False
+        self.round_no = 0
 
     @classmethod
     def open(cls, shards):
@@ -918,25 +1106,26 @@ class PooledChannel:
 
     def _recv_all(self):
         return _recv_reports(
-            [conn for _, conn in self.workers], self._poison
+            [conn for _, conn in self.workers], self._poison, self.round_no
         )
 
     def _send_all(self, message_of):
         # A send-side pipe failure means a worker died between rounds;
         # poison so the scope respawns instead of re-hitting the corpse.
-        try:
-            for s, (_, conn) in enumerate(self.workers):
+        for s, (_, conn) in enumerate(self.workers):
+            try:
                 conn.send(message_of(s))
-        except (BrokenPipeError, OSError) as exc:
-            self._poison()
-            raise RuntimeError(
-                "sharded worker died without reporting"
-            ) from exc
+            except (BrokenPipeError, OSError) as exc:
+                self._poison()
+                raise WorkerDiedError(
+                    shard=s, round_no=self.round_no
+                ) from exc
 
     def round0(self):
         return self._recv_all()
 
     def round(self, inbound):
+        self.round_no += 1
         self._send_all(lambda s: ("round", inbound[s]))
         return self._recv_all()
 
@@ -1023,6 +1212,12 @@ class ShardedKernelLoop:
     def undone_indices(self):
         return [i for shard in self.channel.undone() for i in shard]
 
+    def undone_by_shard(self):
+        """Map ``shard index -> unfinished count`` (non-empty shards only)."""
+        return {
+            s: len(u) for s, u in enumerate(self.channel.undone()) if u
+        }
+
     def close(self):
         self.channel.close()
 
@@ -1059,7 +1254,8 @@ def _drive_pernode(channel, k, cg, algorithm, *, cap, truncating,
     reports = absorb(channel.round0())
     while undone_total:
         if rounds >= cap:
-            undone = [i for shard in channel.undone() for i in shard]
+            per_shard = channel.undone()
+            undone = [i for shard in per_shard for i in shard]
             if truncating:
                 for i in undone:
                     label = labels[i]
@@ -1074,7 +1270,12 @@ def _drive_pernode(channel, k, cg, algorithm, *, cap, truncating,
                     max_bits if track_bits else None,
                 )
             raise NonTerminationError(
-                algorithm.name, cap, [labels[i] for i in undone]
+                algorithm.name,
+                cap,
+                [labels[i] for i in undone],
+                shard_counts={
+                    s: len(u) for s, u in enumerate(per_shard) if u
+                },
             )
         rounds += 1
         reports = absorb(channel.round(_route(reports, k)))
@@ -1090,7 +1291,7 @@ def _drive_pernode(channel, k, cg, algorithm, *, cap, truncating,
 
 
 def build_pernode_shards(cg, part, algorithm, *, inputs, guesses, seed,
-                         salt, rng_mode, track_bits):
+                         salt, rng_mode, track_bits, faults=None):
     """Per-shard node processes + delivery tables for a per-node run."""
     make_gen = rng_source(rng_mode, seed, salt)
     if type(algorithm) is LocalAlgorithm:
@@ -1131,23 +1332,40 @@ def build_pernode_shards(cg, part, algorithm, *, inputs, guesses, seed,
             )
             for i in range(lo, hi)
         ]
-        shards.append(PerNodeShard(s, lo, procs, rows, track_bits))
+        shards.append(
+            PerNodeShard(
+                s,
+                lo,
+                procs,
+                rows,
+                track_bits,
+                faults=faults,
+                labels=labels if faults is not None else None,
+                idents=idents if faults is not None else None,
+            )
+        )
     return shards
 
 
 def build_batch_shards(algorithm, cg, part, *, inputs, guesses, seed, salt,
-                       rng_mode, track_bits, enabled):
+                       rng_mode, track_bits, enabled, faults=None):
     """Per-shard batch kernels, or ``None`` to step per node.
 
     On top of the engine's eligibility rules (D10) the algorithm must
     advertise ``supports_shard`` — the D12 certification that its
     kernel's slab reductions are owner-side, its message counts
     degree-weighted and its per-node state introspectable length-n
-    arrays, which is what makes the halo exchange exact.
+    arrays, which is what makes the halo exchange exact.  Under an
+    active fault plan the kernel must additionally be certified
+    ``supports_faulted_batch`` (D14); otherwise the run falls back to
+    the always-exact per-node shards.
     """
     if not enabled or track_bits or numpy_or_none() is None or cg.n == 0:
         return None
-    if not capabilities_of(algorithm).get("supports_shard"):
+    caps = capabilities_of(algorithm)
+    if not caps.get("supports_shard"):
+        return None
+    if faults is not None and not caps.get("supports_faulted_batch"):
         return None
 
     def setup_of(bg):
@@ -1157,6 +1375,7 @@ def build_batch_shards(algorithm, cg, part, *, inputs, guesses, seed, salt,
             rng_mode,
             _engine_draw_builder(bg, rng_mode, seed, salt),
             sharded=True,
+            faults=faults.batch_view(bg) if faults is not None else None,
         )
 
     built = make_shard_kernels(
@@ -1186,13 +1405,24 @@ def run_sharded(
     use_batch,
     shards,
     channel,
+    faults=None,
 ):
     """Execute one synchronous run on the partitioned engine.
 
     Bit-identical to :func:`repro.local.engine.run_compiled` for every
     shard count and channel (the backend equivalence contract, extended
-    by D12).  Shard counts larger than ``n`` clamp to one node per
-    shard; the empty graph degenerates to the single-process engine.
+    by D12 and, under an active fault plan, D14).  Shard counts larger
+    than ``n`` clamp to one node per shard; the empty graph degenerates
+    to the single-process engine.
+
+    Resilience (D14): a run whose workers time out or die mid-round
+    (:class:`~repro.errors.WorkerTimeoutError` /
+    :class:`~repro.errors.WorkerDiedError`) is retried once on the
+    requested channel — shards are rebuilt from scratch, so the retry
+    is the same pure function of ``(graph, algorithm, seed, plan)`` —
+    and then degraded to the inline channel, which has no workers to
+    lose.  Real worker exceptions are not retried; they propagate
+    first-failure as before.
     """
     from .engine import run_batch, run_compiled
     from .runner import note_stepping
@@ -1213,61 +1443,81 @@ def run_sharded(
             rng_mode=rng_mode,
             result_cls=result_cls,
             use_batch=use_batch,
+            faults=faults,
         )
     part = cg.partition(shards)
-    batch_shards = build_batch_shards(
-        algorithm,
-        cg,
-        part,
-        inputs=inputs,
-        guesses=guesses,
-        seed=seed,
-        salt=salt,
-        rng_mode=rng_mode,
-        track_bits=track_bits,
-        enabled=use_batch,
-    )
-    if batch_shards is not None:
-        note_stepping("shard-batch")
-        loop = ShardedKernelLoop(
-            open_channel(batch_shards, channel), part.k, cg.n
+
+    def attempt(chan_kind):
+        batch_shards = build_batch_shards(
+            algorithm,
+            cg,
+            part,
+            inputs=inputs,
+            guesses=guesses,
+            seed=seed,
+            salt=salt,
+            rng_mode=rng_mode,
+            track_bits=track_bits,
+            enabled=use_batch,
+            faults=faults,
         )
+        if batch_shards is not None:
+            note_stepping("shard-batch")
+            loop = ShardedKernelLoop(
+                open_channel(batch_shards, chan_kind), part.k, cg.n
+            )
+            try:
+                return run_batch(
+                    loop,
+                    cg,
+                    algorithm,
+                    cap=cap,
+                    truncating=truncating,
+                    default_output=default_output,
+                    result_cls=result_cls,
+                )
+            finally:
+                loop.close()
+        note_stepping("shard-per-node")
+        pernode = build_pernode_shards(
+            cg,
+            part,
+            algorithm,
+            inputs=inputs,
+            guesses=guesses,
+            seed=seed,
+            salt=salt,
+            rng_mode=rng_mode,
+            track_bits=track_bits,
+            faults=faults,
+        )
+        chan = open_channel(pernode, chan_kind)
         try:
-            return run_batch(
-                loop,
+            return _drive_pernode(
+                chan,
+                part.k,
                 cg,
                 algorithm,
                 cap=cap,
                 truncating=truncating,
                 default_output=default_output,
+                track_bits=track_bits,
                 result_cls=result_cls,
             )
         finally:
-            loop.close()
-    note_stepping("shard-per-node")
-    pernode = build_pernode_shards(
-        cg,
-        part,
-        algorithm,
-        inputs=inputs,
-        guesses=guesses,
-        seed=seed,
-        salt=salt,
-        rng_mode=rng_mode,
-        track_bits=track_bits,
-    )
-    chan = open_channel(pernode, channel)
-    try:
-        return _drive_pernode(
-            chan,
-            part.k,
-            cg,
-            algorithm,
-            cap=cap,
-            truncating=truncating,
-            default_output=default_output,
-            track_bits=track_bits,
-            result_cls=result_cls,
-        )
-    finally:
-        chan.close()
+            chan.close()
+
+    # Retry ladder: requested channel, once more on the same channel,
+    # then the workerless inline channel.  Only transport failures
+    # (retryable FaultErrors) walk the ladder.
+    ladder = [channel] if channel == "inline" else [channel, channel, "inline"]
+    last = len(ladder) - 1
+    for rung, chan_kind in enumerate(ladder):
+        try:
+            return attempt(chan_kind)
+        except FaultError as exc:
+            if not exc.retryable or rung == last:
+                raise
+            backoff = SHARD_RETRY_BACKOFF
+            if backoff > 0:
+                time.sleep(backoff)

@@ -1,0 +1,397 @@
+"""Deterministic fault injection + resilient shard execution (D14).
+
+Contract under test: an injected run is a pure function of
+``(graph, algorithm, seed, plan)`` and bit-identical across every
+backend — the reference loop, the compiled per-node loop, the batched
+kernels (per-round fault masks) and the sharded engine on every shard
+count and channel.  Plus the resilience ladder: workers that are
+SIGKILLed or hang mid-round surface as retryable transport failures,
+are retried once and then degraded to the workerless inline channel.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.algorithms.fast_mis import fast_mis
+from repro.algorithms.hash_luby import hash_luby_mis
+from repro.algorithms.luby import luby_mc, luby_mis
+from repro.errors import (
+    FaultError,
+    NonTerminationError,
+    WorkerDiedError,
+    WorkerTimeoutError,
+)
+from repro.local import (
+    GARBLED,
+    Broadcast,
+    FaultPlan,
+    LocalAlgorithm,
+    NodeProcess,
+    byzantine_silent,
+    crash_at,
+    drop,
+    garble,
+    honest,
+    last_faults,
+    run,
+    sample_plan,
+    use_batch,
+    use_faults,
+)
+from repro.local import sharded
+from repro.local.batch import numpy_or_none
+from repro.local.runner import last_stepping
+from repro.local.sharded import fork_available
+
+RESULT_FIELDS = ("outputs", "finish_round", "rounds", "messages", "truncated")
+
+#: The parent (test-session) pid; forked shard workers differ.
+PARENT_PID = os.getpid()
+
+
+def assert_results_equal(a, b, context=""):
+    for field in RESULT_FIELDS:
+        assert getattr(a, field) == getattr(b, field), (field, context)
+
+
+def mixed_plan(graph):
+    """One of each profile over the graph's first labels."""
+    nodes = sorted(graph.nodes)
+    return FaultPlan({
+        nodes[1]: crash_at(2),
+        nodes[4]: crash_at(0, output="dead"),
+        nodes[7]: byzantine_silent(),
+        nodes[10]: drop(0.5),
+        nodes[13]: garble(0.6),
+        nodes[16]: drop(1.0),
+        nodes[19]: honest(),
+    })
+
+
+class TestBitIdentity:
+    def test_full_backend_matrix_luby(self, small_gnp):
+        plan = mixed_plan(small_gnp)
+        base = run(small_gnp, luby_mis(), seed=5, rng="counter",
+                   backend="reference", faults=plan)
+        compiled = run(small_gnp, luby_mis(), seed=5, rng="counter",
+                       backend="compiled", faults=plan)
+        assert_results_equal(base, compiled, context="compiled")
+        channels = ("inline", "mp", "mp-pooled") if fork_available() else (
+            "inline",)
+        for k in (1, 2, 3):
+            for channel in channels:
+                for batching in (True, False):
+                    with use_batch(batching):
+                        got = run(
+                            small_gnp, luby_mis(), seed=5, rng="counter",
+                            backend="sharded", shards=k,
+                            shard_channel=channel, faults=plan,
+                        )
+                    assert_results_equal(
+                        base, got, context=(k, channel, batching)
+                    )
+
+    @pytest.mark.parametrize("make", (luby_mc, hash_luby_mis))
+    def test_certified_kernels_bit_identical(self, small_gnp, make):
+        plan = mixed_plan(small_gnp)
+        algorithm = make()
+        guesses = {"n": len(small_gnp.nodes)}
+        base = run(small_gnp, algorithm, seed=3, rng="counter",
+                   guesses=guesses, backend="reference", faults=plan)
+        batched = run(small_gnp, algorithm, seed=3, rng="counter",
+                      guesses=guesses, backend="batch", faults=plan)
+        assert last_stepping() == "batch"  # kernel certified for faults
+        assert_results_equal(base, batched, context="batch")
+        algorithm = make()
+        shard = run(small_gnp, algorithm, seed=3, rng="counter",
+                    guesses=guesses, backend="sharded", shards=2,
+                    faults=plan)
+        assert_results_equal(base, shard, context="sharded")
+
+    @pytest.mark.skipif(numpy_or_none() is None, reason="needs numpy")
+    def test_scalar_and_vector_views_agree(self, small_gnp):
+        """CompiledFaults.decide ≡ the BatchFaults per-slot masks."""
+        from repro.local.batch import batch_graph_of
+        from repro.local.faults import DELIVER, DROP as F_DROP
+
+        plan = mixed_plan(small_gnp)
+        compiled = plan.compile(small_gnp.nodes, small_gnp.ident, 5, 0)
+        cg = small_gnp.compiled()
+        bg = batch_graph_of(cg)
+        view = compiled.batch_view(bg)
+        for rnd in range(6):
+            delivered = view.delivered_out(rnd)
+            tainted = view.tainted_in(rnd)
+            for slot in range(len(bg.owner)):
+                o, nb = int(bg.owner[slot]), int(bg.neigh[slot])
+                out_fate = compiled.decide(
+                    bg.labels[o], bg.idents[o], bg.idents[nb], rnd
+                )
+                silenced_o = compiled.silenced(bg.labels[o], rnd)
+                assert delivered[slot] == (
+                    out_fate != F_DROP and not silenced_o
+                ), (slot, rnd, "out")
+                in_fate = compiled.decide(
+                    bg.labels[nb], bg.idents[nb], bg.idents[o], rnd
+                )
+                silenced_n = compiled.silenced(bg.labels[nb], rnd)
+                assert tainted[slot] == (
+                    in_fate != DELIVER or silenced_n
+                ), (slot, rnd, "in")
+
+    def test_injected_run_is_reproducible(self, small_gnp):
+        plan = mixed_plan(small_gnp)
+        first = run(small_gnp, luby_mis(), seed=9, rng="counter", faults=plan)
+        again = run(small_gnp, luby_mis(), seed=9, rng="counter", faults=plan)
+        assert_results_equal(first, again)
+
+
+class _Echo(NodeProcess):
+    """Round-1 inbox recorder: output is the multiset of payloads."""
+
+    __slots__ = ()
+
+    def start(self):
+        if self.ctx.degree == 0:
+            self.finish(())
+            return None
+        return Broadcast(("msg", self.ctx.ident))
+
+    def receive(self, inbox):
+        self.finish(tuple(sorted(inbox.values(), key=repr)))
+        return None
+
+
+def _echo_algorithm():
+    return LocalAlgorithm(name="echo", process=_Echo)
+
+
+class TestFaultSemantics:
+    def test_crash_output_and_round(self, small_gnp):
+        nodes = sorted(small_gnp.nodes)
+        plan = FaultPlan({
+            nodes[0]: crash_at(0, output="dead-0"),
+            nodes[2]: crash_at(1, output="dead-1"),
+        })
+        for backend in ("reference", "compiled"):
+            got = run(small_gnp, luby_mis(), seed=2, rng="counter",
+                      backend=backend, faults=plan)
+            assert got.outputs[nodes[0]] == "dead-0"
+            assert got.finish_round[nodes[0]] == 0
+            assert got.outputs[nodes[2]] == "dead-1"
+            assert got.finish_round[nodes[2]] == 1
+
+    def test_garbled_arrives_as_sentinel(self, small_gnp):
+        victim = max(small_gnp.nodes, key=small_gnp.degree)
+        plan = FaultPlan({victim: garble(1.0)})
+        got = run(small_gnp, _echo_algorithm(), seed=1, faults=plan)
+        neighbour = small_gnp.adj[victim][0][1]
+        assert GARBLED in got.outputs[neighbour]
+        # Tag-checked protocols must survive the sentinel: it is a
+        # tuple whose first element matches no protocol tag.
+        assert GARBLED[0] not in ("msg", "bid", "win")
+
+    def test_message_accounting(self, small_gnp):
+        victim = max(small_gnp.nodes, key=small_gnp.degree)
+        honest_run = run(small_gnp, _echo_algorithm(), seed=1)
+        dropped = run(small_gnp, _echo_algorithm(), seed=1,
+                      faults=FaultPlan({victim: drop(1.0)}))
+        garbled = run(small_gnp, _echo_algorithm(), seed=1,
+                      faults=FaultPlan({victim: garble(1.0)}))
+        silent = run(small_gnp, _echo_algorithm(), seed=1,
+                     faults=FaultPlan({victim: byzantine_silent()}))
+        degree = small_gnp.degree(victim)
+        # Dropped and silenced sends are uncounted; garbled ones travel.
+        assert dropped.messages == honest_run.messages - degree
+        assert silent.messages == honest_run.messages - degree
+        assert garbled.messages == honest_run.messages
+
+    def test_uncertified_kernel_falls_back_per_node(self, small_gnp):
+        guesses = {"m": small_gnp.max_ident, "Delta": small_gnp.max_degree}
+        plan = mixed_plan(small_gnp)
+        run(small_gnp, fast_mis(), seed=4, rng="counter", guesses=guesses)
+        assert last_stepping() == "batch"  # honest runs keep the kernel
+        base = run(small_gnp, fast_mis(), seed=4, rng="counter",
+                   guesses=guesses, backend="reference", faults=plan)
+        compiled = run(small_gnp, fast_mis(), seed=4, rng="counter",
+                       guesses=guesses, faults=plan)
+        assert last_stepping() == "per-node"
+        assert_results_equal(base, compiled, context="fallback")
+        shard = run(small_gnp, fast_mis(), seed=4, rng="counter",
+                    guesses=guesses, shards=2, faults=plan)
+        assert last_stepping() == "shard-per-node"
+        assert_results_equal(base, shard, context="shard fallback")
+
+    def test_ambient_plan_and_diagnostics(self, small_gnp):
+        plan = mixed_plan(small_gnp)
+        explicit = run(small_gnp, luby_mis(), seed=6, rng="counter",
+                       faults=plan)
+        assert last_faults() is not None and "crash" in last_faults()
+        with use_faults(plan):
+            ambient = run(small_gnp, luby_mis(), seed=6, rng="counter")
+        assert_results_equal(explicit, ambient, context="ambient")
+        honest_again = run(small_gnp, luby_mis(), seed=6, rng="counter")
+        assert last_faults() is None
+        baseline = run(small_gnp, luby_mis(), seed=6, rng="counter")
+        assert_results_equal(honest_again, baseline)
+
+    def test_absent_and_empty_plans_inject_nothing(self, small_gnp):
+        baseline = run(small_gnp, luby_mis(), seed=8, rng="counter")
+        empty = run(small_gnp, luby_mis(), seed=8, rng="counter",
+                    faults=FaultPlan({}))
+        assert_results_equal(baseline, empty, context="empty")
+        absent = run(small_gnp, luby_mis(), seed=8, rng="counter",
+                     faults=FaultPlan({"no-such-node": crash_at(0)}))
+        assert_results_equal(baseline, absent, context="absent")
+        assert last_faults() is None
+
+    def test_sample_plan_is_deterministic(self, small_gnp):
+        first = sample_plan(small_gnp, drop(0.5), 0.3, seed=7)
+        again = sample_plan(small_gnp, drop(0.5), 0.3, seed=7)
+        assert sorted(first.profiles) == sorted(again.profiles)
+        assert 0 < len(first) < len(small_gnp.nodes)
+        other = sample_plan(small_gnp, drop(0.5), 0.3, seed=8)
+        assert sorted(first.profiles) != sorted(other.profiles)
+        assert len(sample_plan(small_gnp, drop(0.5), 0.0, seed=7)) == 0
+
+
+# ---------------------------------------------------------------------------
+# resilience: worker death, hangs, and the retry/degrade ladder
+# ---------------------------------------------------------------------------
+
+class _KilledWorker(NodeProcess):
+    """Node 0 hard-kills its hosting process — in forked workers only."""
+
+    __slots__ = ("r",)
+
+    def __init__(self, ctx):
+        super().__init__(ctx)
+        self.r = 0
+
+    def start(self):
+        return Broadcast(("hi", 0))
+
+    def receive(self, inbox):
+        self.r += 1
+        if self.r == 2 and os.getpid() != PARENT_PID and self.ctx.node == 0:
+            os._exit(9)
+        if self.r >= 4:
+            self.finish(self.r)
+            return None
+        return Broadcast(("hi", self.r))
+
+
+class _HungWorker(_KilledWorker):
+    """Node 0 hangs mid-round — in forked workers only."""
+
+    __slots__ = ()
+
+    def receive(self, inbox):
+        self.r += 1
+        if self.r == 2 and os.getpid() != PARENT_PID and self.ctx.node == 0:
+            time.sleep(60)
+        if self.r >= 4:
+            self.finish(self.r)
+            return None
+        return Broadcast(("hi", self.r))
+
+
+@pytest.mark.skipif(
+    not fork_available(), reason="multiprocessing fork unavailable"
+)
+class TestResilienceLadder:
+    @pytest.fixture(autouse=True)
+    def fast_ladder(self, monkeypatch):
+        monkeypatch.setattr(sharded, "SHARD_RETRY_BACKOFF", 0.01)
+
+    @pytest.mark.parametrize("channel", ("mp", "mp-pooled"))
+    def test_sigkilled_worker_degrades_and_completes(
+        self, small_gnp, channel
+    ):
+        """Regression: a SIGKILLed worker used to block the parent's
+        recv forever; now it degrades to inline and completes."""
+        algo = LocalAlgorithm(name="killed", process=_KilledWorker)
+        base = run(small_gnp, algo, seed=1, backend="reference")
+        got = run(small_gnp, algo, seed=1, backend="sharded", shards=2,
+                  shard_channel=channel)
+        assert_results_equal(base, got, context=channel)
+
+    @pytest.mark.parametrize("channel", ("mp", "mp-pooled"))
+    def test_hung_worker_times_out_and_completes(
+        self, small_gnp, channel, monkeypatch
+    ):
+        monkeypatch.setattr(sharded, "SHARD_TIMEOUT", 0.5)
+        algo = LocalAlgorithm(name="hung", process=_HungWorker)
+        base = run(small_gnp, algo, seed=1, backend="reference")
+        started = time.monotonic()
+        got = run(small_gnp, algo, seed=1, backend="sharded", shards=2,
+                  shard_channel=channel)
+        assert time.monotonic() - started < 30
+        assert_results_equal(base, got, context=channel)
+
+    def test_recv_timeout_raises_with_shard_and_round(self, monkeypatch):
+        import multiprocessing
+
+        monkeypatch.setattr(sharded, "SHARD_TIMEOUT", 0.1)
+        parent, child = multiprocessing.Pipe()
+        closed = []
+        with pytest.raises(WorkerTimeoutError) as excinfo:
+            sharded._recv_reports(
+                [parent], lambda: closed.append(True), round_no=3
+            )
+        child.close()
+        parent.close()
+        exc = excinfo.value
+        assert closed == [True]  # on_failure ran before the raise
+        assert exc.retryable and isinstance(exc, FaultError)
+        assert exc.shard == 0 and exc.round_no == 3
+        assert "worker 0" in str(exc) and "round 3" in str(exc)
+
+    def test_recv_eof_raises_worker_died(self, monkeypatch):
+        import multiprocessing
+
+        monkeypatch.setattr(sharded, "SHARD_TIMEOUT", 5.0)
+        parent, child = multiprocessing.Pipe()
+        child.close()  # worker gone: recv sees EOF immediately
+        with pytest.raises(WorkerDiedError) as excinfo:
+            sharded._recv_reports([parent], lambda: None, round_no=2)
+        parent.close()
+        assert excinfo.value.retryable
+        assert "died without reporting" in str(excinfo.value)
+
+    def test_real_worker_exceptions_do_not_retry(self, small_gnp):
+        class _Boom(NodeProcess):
+            __slots__ = ()
+
+            def start(self):
+                return Broadcast(("hi",))
+
+            def receive(self, inbox):
+                raise ValueError("algorithm bug")
+
+        algo = LocalAlgorithm(name="boom", process=_Boom)
+        with pytest.raises(ValueError, match="algorithm bug"):
+            run(small_gnp, algo, seed=1, backend="sharded", shards=2,
+                shard_channel="mp")
+
+
+class TestNonTerminationDiagnostics:
+    def test_per_shard_unfinished_counts(self, small_gnp):
+        for batching in (True, False):
+            with use_batch(batching):
+                with pytest.raises(NonTerminationError) as excinfo:
+                    run(small_gnp, luby_mis(), seed=2, rng="counter",
+                        max_rounds=1, shards=3)
+            message = str(excinfo.value)
+            assert "(shard 0:" in message, batching
+            counts = excinfo.value.shard_counts
+            assert sum(counts.values()) == len(excinfo.value.unfinished)
+
+    def test_unsharded_message_unchanged(self, small_gnp):
+        with pytest.raises(NonTerminationError) as excinfo:
+            run(small_gnp, luby_mis(), seed=2, rng="counter", max_rounds=1)
+        assert "shard" not in str(excinfo.value)

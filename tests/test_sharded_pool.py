@@ -42,16 +42,23 @@ class _IdleProcess(NodeProcess):
 
 
 class _FailingKernel:
-    """Minimal D10 kernel that fails mid-run, worker-side."""
+    """Minimal D10 kernel that fails mid-run, worker-side only.
 
-    def __init__(self, bg, action):
+    The ``exit`` action hard-kills the hosting process *only when it is
+    a forked worker* (pid differs from the building session): the
+    resilience ladder (D14) retries and finally degrades to the inline
+    channel, where the kernel must run to completion in the parent.
+    """
+
+    def __init__(self, bg, action, parent_pid):
         self.bg = bg
         self.action = action
+        self.parent_pid = parent_pid
         self.round = 0
         self.done = False
 
     def undone_indices(self):
-        return list(range(self.bg.n))
+        return [] if self.done else list(range(self.bg.n))
 
     def start(self):
         return [], [], 0
@@ -61,15 +68,21 @@ class _FailingKernel:
         if self.round >= 2:
             if self.action == "raise":
                 raise RuntimeError("boom in shard worker")
-            os._exit(13)  # simulate a worker crash, no exception report
+            if os.getpid() != self.parent_pid:
+                os._exit(13)  # worker crash: no exception report, just EOF
+            # Inline rung of the resilience ladder: finish cleanly.
+            self.done = True
+            n = self.bg.n
+            return list(range(n)), [0] * n, 0
         return [], [], 0
 
 
 def _failing_algorithm(action):
+    parent_pid = os.getpid()
     return LocalAlgorithm(
         name=f"failing-{action}",
         process=_IdleProcess,
-        batch=lambda bg, setup: _FailingKernel(bg, action),
+        batch=lambda bg, setup: _FailingKernel(bg, action, parent_pid),
         shard=True,
     )
 
@@ -102,17 +115,25 @@ class TestPoolLifecycle:
             assert fresh is not None and fresh is not pool
             assert_results_equal(warm, again)
 
-    def test_worker_death_propagates_and_poisons(self, pool_graph):
-        """A worker dying without reporting (hard crash) surfaces as a
-        RuntimeError and poisons the pool the same way."""
+    def test_worker_death_retries_then_degrades_inline(self, pool_graph):
+        """A SIGKILLed worker mid-round poisons the pool, and the
+        resilience ladder (D14) retries once then degrades to the
+        inline channel — the run completes instead of raising."""
+        from repro.local.runner import last_stepping
+
         with use_backend(
             "sharded", rng="counter", shards=2, shard_channel="mp-pooled"
         ):
             run(pool_graph, luby_mis(), seed=3)
             pool = sharded._POOL
-            with pytest.raises(RuntimeError, match="died without reporting"):
-                run(pool_graph, _failing_algorithm("exit"), seed=3)
-            assert sharded._POOL is None and pool.broken
+            result = run(pool_graph, _failing_algorithm("exit"), seed=3)
+            # Completed on the inline rung with every node finished.
+            assert result.rounds == 2
+            assert set(result.outputs) == set(pool_graph.nodes)
+            assert set(result.outputs.values()) == {0}
+            assert last_stepping() == "shard-batch"
+            # The dying attempts poisoned their pools on the way down.
+            assert pool.broken and sharded._POOL is not pool
             run(pool_graph, luby_mis(), seed=3)  # scope recovered
 
     def test_worker_killed_between_runs_respawns_transparently(
