@@ -31,10 +31,12 @@ absolute times, so it is stable across runner hardware.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import os
 import platform
 import sys
+import tempfile
 import time
 from contextlib import ExitStack
 from pathlib import Path
@@ -61,6 +63,7 @@ from repro.local import (  # noqa: E402
     use_batch,
     use_faults,
 )
+from repro.local import recovery  # noqa: E402
 
 BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_engine.json"
 
@@ -75,7 +78,27 @@ RATIOS = (
     ("speedup", "reference", "compiled"),
     ("speedup_batch", "reference", "batch"),
     ("batch_gain", "compiled", "batch"),
+    # Recovery unit (D15): checkpoint-off seconds / checkpoint-on
+    # seconds — drops toward 0 as per-round checkpointing overhead
+    # grows, so the smoke gate catches a snapshot-cost regression.
+    ("checkpoint_gain", "checkpoint-off", "checkpoint-on"),
 )
+
+
+def _atomic_write_text(path, text):
+    """Temp-file + rename: a crashed or killed ``--update`` run can
+    never leave a truncated ``BENCH_engine.json`` behind."""
+    fd, tmp = tempfile.mkstemp(
+        dir=str(path.parent), prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp)
+        raise
 
 
 def _backend_context(backend):
@@ -331,6 +354,70 @@ def unit_sharded_alternation(n, seeds, reps, ks=SHARD_SWEEP,
             out[f"{key}_gain"] = round(
                 out["batch"]["seconds"] / entry["seconds"], 2
             )
+    return out
+
+
+def unit_recovery_checkpoint(n, seeds, reps, k=2, channel="mp"):
+    """Round-checkpoint cost of the self-healing shard channel (D15).
+
+    Runs the Theorem-2 Luby alternation on the sharded engine twice —
+    once with per-round checkpointing on (the default: the parent
+    retains a pickled snapshot of every shard after every round, which
+    is what makes surgical worker recovery possible) and once with it
+    forced off — and records ``checkpoint_gain`` (off seconds / on
+    seconds) plus the overhead percentage.  Both runs are checked
+    bit-identical before anything is recorded: checkpointing is pure
+    observation and must never change results.
+    """
+    graph = build_graph(WORKLOADS["gnp-sparse"](n, seed=2), seed=2)
+
+    def measure():
+        _, _, uniform = TABLE1["luby"].build()
+        state = {}
+
+        def fn():
+            rounds = 0
+            signature = []
+            for seed in seeds:
+                result = uniform.run(graph, seed=seed)
+                rounds += result.rounds
+                signature.append((result.rounds, result.outputs))
+            state["rounds"] = rounds
+            state["signature"] = signature
+
+        fn()  # warm caches (CSR compile, partition plans)
+        seconds = _best(fn, reps)
+        signature = state.pop("signature")
+        entry = {"seconds": round(seconds, 6)}
+        entry.update(state)
+        return entry, signature
+
+    out = {}
+    with use_backend(
+        "sharded", rng="counter", shards=k, shard_channel=channel
+    ):
+        out["checkpoint-on"], on_signature = measure()
+    saved = recovery.CHECKPOINTS_ENABLED
+    recovery.CHECKPOINTS_ENABLED = False
+    try:
+        with use_backend(
+            "sharded", rng="counter", shards=k, shard_channel=channel
+        ):
+            out["checkpoint-off"], off_signature = measure()
+    finally:
+        recovery.CHECKPOINTS_ENABLED = saved
+    if on_signature != off_signature:
+        raise SystemExit(
+            "checkpointing changed sharded results — refusing to record"
+        )
+    out["checkpoint_gain"] = round(
+        out["checkpoint-off"]["seconds"] / out["checkpoint-on"]["seconds"], 2
+    )
+    out["checkpoint_overhead_pct"] = round(
+        100.0
+        * (out["checkpoint-on"]["seconds"] / out["checkpoint-off"]["seconds"] - 1.0),
+        1,
+    )
     return out
 
 
@@ -616,6 +703,12 @@ def full_suite():
         "sharded-alternation-n2000": unit_sharded_alternation(
             2000, (1, 2, 3), reps=3
         ),
+        # Self-healing checkpoint overhead (D15): the same alternation
+        # with per-round shard snapshots on vs off — the recovery
+        # machinery's steady-state price, gated by checkpoint_gain.
+        "recovery-checkpoint-n2000": unit_recovery_checkpoint(
+            2000, (1, 2), reps=3
+        ),
         # Adversarial degradation axis (D14): fault rate × profile sweep
         # on the same alternation — solution quality (MIS violation
         # counts) and round counts under injection; crash profiles stall
@@ -669,6 +762,14 @@ SMOKE_UNITS = {
     "smoke-faults": lambda: unit_faults_alternation(
         400, (1,), reps=2, rates=(0.1,), profiles=("drop", "crash")
     ),
+    # Recovery gate unit (D15): per-round checkpointing on vs off on
+    # the fork-per-run channel.  checkpoint_gain falling below 80% of
+    # the baseline means shard snapshots got materially more expensive;
+    # the unit itself refuses to record if checkpointing ever changes
+    # results.
+    "smoke-recovery": lambda: unit_recovery_checkpoint(
+        SMOKE_N, (1,), reps=2
+    ),
 }
 
 
@@ -710,6 +811,11 @@ def render(units):
                     f"{key[len('sharded-'):-len('_gain')]}={value:.2f}x"
                     for key, value in sorted(shard_gains.items())
                 )
+            )
+        if "checkpoint_gain" in entry:
+            lines.append(
+                f"  checkpoint overhead: {entry['checkpoint_overhead_pct']:+.1f}%"
+                f" (off/on {entry['checkpoint_gain']:.2f}x)"
             )
     return "\n".join(lines)
 
@@ -805,13 +911,14 @@ def main(argv=None):
                     "exchange (D13; needs a multi-core runner for absolute "
                     "wins). speedup = reference/compiled, speedup_batch = "
                     "reference/batch, batch_gain = compiled/batch, "
-                    "sharded-*_gain = batch/sharded."
+                    "sharded-*_gain = batch/sharded, checkpoint_gain = "
+                    "checkpoint-off/checkpoint-on (D15 round snapshots)."
                 ),
             },
             "units": units,
             "smoke": smoke,
         }
-        args.baseline.write_text(json.dumps(payload, indent=2) + "\n")
+        _atomic_write_text(args.baseline, json.dumps(payload, indent=2) + "\n")
         print(f"baseline written to {args.baseline}")
     return 0
 

@@ -14,19 +14,30 @@ protocol.  Two questions matter before flashing firmware:
    *the same experiment* on the batch kernels or the sharded engine.
 
 2. *What if the simulation machinery itself fails?*  The mp shard
-   channels survive real faults too: a killed or hung worker times out
-   (``REPRO_SHARD_TIMEOUT``), is retried once, then the run degrades
-   to the inline channel — same bits, one process.
+   channels survive real faults too (DESIGN.md, D15): the parent keeps
+   a round-level checkpoint of every shard, so a killed or hung worker
+   is respawned alone and resumed from the last checkpoint — a dead
+   worker costs one round, not the run, and the recovered output is
+   bit-identical to the honest one.  Section 4 below SIGKILLs a live
+   worker mid-run to show it.
 
 Run:  python examples/adversarial_resilience.py
 """
+
+import multiprocessing
+import os
+import signal
+import threading
+import time
+import warnings
 
 from repro.algorithms import TABLE1
 from repro.algorithms.luby import luby_mis
 from repro.bench import build_graph
 from repro.core.alternating import AlternationDiverged
+from repro.errors import ResilienceWarning
 from repro.graphs import families
-from repro.local import run, sample_plan, use_faults
+from repro.local import run, sample_plan, use_backend, use_faults
 from repro.local.faults import crash_at, drop
 from repro.local.sharded import fork_available
 
@@ -108,6 +119,62 @@ def main():
             f"\nwith {crashed.describe()}: alternation diverges at its "
             "iteration cap — crashed nodes are never pruned (expected)."
         )
+
+    # 4. Kill-and-recover (D15): SIGKILL a live shard worker mid-run.
+    # The parent respawns only that worker from the last round
+    # checkpoint; the alternation finishes bit-identical to an honest
+    # run and carries the recovery trail in its step ledger.
+    if fork_available():
+        kill_and_recover(network)
+
+
+def kill_and_recover(network):
+    print("\nkill-and-recover (D15): SIGKILL one shard worker mid-run")
+    _, _, uniform = TABLE1["luby"].build()
+    with use_backend("sharded", rng="counter", shards=2, shard_channel="mp"):
+        honest = uniform.run(network, seed=SEED)
+
+    state = {}
+
+    def assassin():
+        # Wait for a forked shard worker to appear, then SIGKILL it —
+        # an external fault the channel cannot see coming.
+        while "pid" not in state and not state.get("stop"):
+            for child in multiprocessing.active_children():
+                try:
+                    os.kill(child.pid, signal.SIGKILL)
+                except ProcessLookupError:
+                    continue
+                state["pid"] = child.pid
+                return
+            time.sleep(0.001)
+
+    _, _, uniform = TABLE1["luby"].build()
+    with use_backend("sharded", rng="counter", shards=2, shard_channel="mp"):
+        thread = threading.Thread(target=assassin, daemon=True)
+        thread.start()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always", ResilienceWarning)
+            recovered = uniform.run(network, seed=SEED)
+        state["stop"] = True
+        thread.join(timeout=5)
+
+    for warning in caught:
+        if issubclass(warning.category, ResilienceWarning):
+            print(f"  warning: {warning.message}")
+    trails = [
+        backend
+        for step in recovered.steps
+        for backend in (step.backends or ())
+        if backend and "[" in backend
+    ]
+    assert recovered.outputs == honest.outputs, "recovery changed the output"
+    assert recovered.rounds == honest.rounds, "recovery changed the ledger"
+    if trails:
+        print(f"  killed pid={state.get('pid')}; recovery trail: {trails[0]}")
+    else:
+        print("  (the kill landed between sharded runs — nothing to heal)")
+    print("  recovered run is bit-identical to the honest one.")
 
 
 if __name__ == "__main__":

@@ -35,8 +35,14 @@ class NonTerminationError(ReproError):
         super().__init__(message)
 
 
-class ParameterError(ReproError):
-    """A required global-parameter guess is missing or malformed."""
+class ParameterError(ReproError, ValueError):
+    """A required global-parameter guess is missing or malformed.
+
+    Subclasses :class:`ValueError` so eager argument validation (fault
+    probabilities outside ``[0, 1]``, negative crash rounds, unknown
+    fault-plan labels) reads as the standard library convention to
+    callers that never import the library's error hierarchy.
+    """
 
 
 class FaultError(ReproError):
@@ -90,6 +96,50 @@ class WorkerDiedError(FaultError, RuntimeError):
         if shard is not None:
             message = f"{message} (shard {shard}, round {round_no})"
         super().__init__(message)
+
+
+class RecoveryExhaustedError(FaultError):
+    """Surgical shard recovery ran out of its per-run retry budget.
+
+    Raised by a channel when ``REPRO_SHARD_MAX_RETRIES`` respawn
+    attempts were consumed without completing the failed round.  Still
+    ``retryable``: the run-level ladder may re-dispatch the whole run on
+    the inline channel as a last resort.
+    """
+
+    retryable = True
+
+    def __init__(self, shard, round_no, attempts, cause=None):
+        self.shard = shard
+        self.round_no = round_no
+        self.attempts = attempts
+        self.cause = cause
+        message = (
+            f"shard {shard} could not be recovered at round {round_no} "
+            f"after {attempts} respawn attempt(s)"
+        )
+        if cause is not None:
+            message += f" (last cause: {cause})"
+        super().__init__(message)
+
+
+class CheckpointCorruptError(ReproError):
+    """A spilled checkpoint file failed validation (magic/CRC/unpickle).
+
+    Resuming from a torn or tampered journal would silently break the
+    bit-identity contract, so the journal refuses it loudly instead.
+    """
+
+
+class ResilienceWarning(UserWarning):
+    """A run degraded or recovered instead of failing.
+
+    Emitted whenever the resilience machinery silently changes how a
+    run executes — a worker respawn, a pool rebuild, a fallback from
+    mp-pooled/mp to inline, a shared-memory halo overflow, or a
+    numpy-free degradation — carrying shard/round/cause context so the
+    degradation is observable without failing the run.
+    """
 
 
 class InvalidInstanceError(ReproError):

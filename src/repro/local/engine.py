@@ -447,12 +447,18 @@ def run_batch(
     labels = cg.labels
     outputs = {}
     finish_round = {}
+    # Sharded kernels with a spill journal want the committed ledger
+    # alongside each round checkpoint (D15), so a resumed run need not
+    # replay rounds this loop already absorbed.
+    commit_ledger = getattr(kernel, "commit_ledger", None)
     finished, results, messages = kernel.start()
     for i, value in zip(finished, results):
         label = labels[i]
         outputs[label] = value
         finish_round[label] = 0
     rounds = 0
+    if commit_ledger is not None:
+        commit_ledger(labels, rounds, outputs, finish_round, messages)
     while not kernel.done:
         if rounds >= cap:
             undone = kernel.undone_indices()
@@ -483,6 +489,8 @@ def run_batch(
             label = labels[i]
             outputs[label] = value
             finish_round[label] = rounds
+        if commit_ledger is not None:
+            commit_ledger(labels, rounds, outputs, finish_round, messages)
     total = max(finish_round.values()) if finish_round else 0
     return result_cls(
         outputs, finish_round, total, messages, frozenset(), None

@@ -151,11 +151,15 @@ class FaultPlan:
     ``salt`` decorrelates the drop/garble streams of otherwise identical
     plans (sweeps vary it to resample the adversary); the plan is inert
     for nodes it does not mention and for labels absent from the graph.
+    Pass ``nodes`` (any iterable of labels, e.g. ``graph.nodes``) to
+    instead *reject* profiles for unknown labels at build time — the
+    eager check that catches a typo'd label before it silently no-ops
+    through an entire sweep.
     """
 
     __slots__ = ("profiles", "salt")
 
-    def __init__(self, profiles, salt=0):
+    def __init__(self, profiles, salt=0, nodes=None):
         cleaned = {}
         for label, profile in dict(profiles or {}).items():
             if not isinstance(profile, Profile):
@@ -165,6 +169,17 @@ class FaultPlan:
                 )
             if profile.kind != "honest":
                 cleaned[label] = profile
+        if nodes is not None:
+            known = set(nodes)
+            unknown = sorted(
+                (repr(label) for label in cleaned if label not in known)
+            )
+            if unknown:
+                raise ParameterError(
+                    f"fault plan names {len(unknown)} unknown node "
+                    f"label(s): {', '.join(unknown[:5])}"
+                    + (", ..." if len(unknown) > 5 else "")
+                )
         self.profiles = cleaned
         self.salt = salt
 

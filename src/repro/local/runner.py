@@ -129,6 +129,25 @@ def last_faults():
     return _LAST_FAULTS
 
 
+#: Recovery trail of the most recent sharded run (``None`` when nothing
+#: failed) — e.g. ``"respawn@r3(s1)"`` after a surgical worker respawn,
+#: ``"respawn@r3(s1) inline@r3"`` after an escalation (D15).  Same
+#: diagnostic channel as :data:`_LAST_STEPPING`: the alternation engine
+#: samples it per step and folds it into ``StepRecord.backends``.
+_LAST_RECOVERY = None
+
+
+def note_recovery(summary):
+    """Record the recovery trail of the latest sharded run (or ``None``)."""
+    global _LAST_RECOVERY
+    _LAST_RECOVERY = summary
+
+
+def last_recovery():
+    """Recovery trail of the most recent run (``None`` if nothing failed)."""
+    return _LAST_RECOVERY
+
+
 def set_batch_enabled(enabled):
     """Toggle the batched execution path; returns the previous value."""
     global BATCH_ENABLED

@@ -49,20 +49,43 @@ through the parent's pipes.  All channels produce bit-identical
 :class:`~repro.local.runner.RunResult` fields for every shard count —
 the ``sharded(k) ≡ batch ≡ compiled ≡ reference`` contract enforced by
 ``tests/test_engine_equivalence.py``.
+
+Checkpoints and self-healing recovery (D15)
+-------------------------------------------
+Both worker channels take a round-level checkpoint after every
+committed round: each worker piggybacks a pickled snapshot of its shard
+on its round report, and the parent's :class:`RecoveryManager`
+(``local/recovery.py``) retains the latest complete set.  When a worker
+dies or hangs mid-round, only that worker is respawned and restored
+from the checkpoint, and the failed round is re-dispatched to it alone
+— the survivors' reports are salvaged, so a dead worker costs one round
+of one shard, not the run.  Because every per-node draw is a pure
+function of ``(identity, round)`` (D9), the replayed round is
+bit-identical to the one the dead worker never finished.  Recovery
+escalates respawn-shard → rebuild-pool (pooled only) →
+inline-from-checkpoint under a per-run retry budget
+(``REPRO_SHARD_MAX_RETRIES``); runs whose shard state cannot pickle
+keep the legacy restart-on-inline ladder.  Every rung emits a
+:class:`~repro.errors.ResilienceWarning` and is recorded in the
+``runner.last_recovery`` diagnostics channel.
 """
 
 from __future__ import annotations
 
 import os
 import time
+import warnings
 from contextlib import contextmanager
 
 from ..errors import (
     FaultError,
     NonTerminationError,
+    RecoveryExhaustedError,
+    ResilienceWarning,
     WorkerDiedError,
     WorkerTimeoutError,
 )
+from .recovery import INITIAL_ROUND, RecoveryManager, snapshot_blob
 from .algorithm import LocalAlgorithm, capabilities_of
 from .batch import (
     _engine_draw_builder,
@@ -573,18 +596,18 @@ class InlineChannel:
 
 
 def _recv_reports(conns, on_failure, round_no=0):
-    """Collect one reply per worker; surface the first failure.
+    """Collect one reply per worker, failing fast on the first failure.
 
-    Shared by the fork-per-run and pooled channels so worker-failure
-    detection cannot drift between them.  The receive polls against a
-    shared per-round deadline (:data:`SHARD_TIMEOUT`) instead of
-    blocking — a SIGKILLed worker surfaces as
-    :class:`~repro.errors.WorkerDiedError` (EOF on its pipe) and a hung
-    one as :class:`~repro.errors.WorkerTimeoutError`, both carrying the
-    shard index and round and both retryable by the resilience ladder
-    in :func:`run_sharded`.  ``on_failure()`` runs once before the
-    failure is raised — closing the forked pool, or poisoning the
-    persistent one.
+    The strict ack-collection variant: used where a failure aborts the
+    whole exchange (pooled ``load``/``restore`` acknowledgements) rather
+    than entering surgical recovery — round reports go through
+    :func:`_recv_outcomes` instead, which salvages the survivors.  The
+    receive polls against a shared per-round deadline
+    (:data:`SHARD_TIMEOUT`) instead of blocking — a SIGKILLed worker
+    surfaces as :class:`~repro.errors.WorkerDiedError` (EOF on its pipe)
+    and a hung one as :class:`~repro.errors.WorkerTimeoutError`, both
+    carrying the shard index and round and both retryable.
+    ``on_failure()`` runs once before the failure is raised.
     """
     timeout = SHARD_TIMEOUT
     deadline = time.monotonic() + timeout if timeout > 0 else None
@@ -597,7 +620,8 @@ def _recv_reports(conns, on_failure, round_no=0):
             ):
                 failure = WorkerTimeoutError(s, round_no, timeout)
                 break
-            tag, payload = conn.recv()
+            message = conn.recv()
+            tag, payload = message[0], message[1]
         except (EOFError, OSError):
             tag, payload = "err", WorkerDiedError(shard=s, round_no=round_no)
         if tag == "err":
@@ -608,6 +632,92 @@ def _recv_reports(conns, on_failure, round_no=0):
         on_failure()
         raise failure
     return reports
+
+
+def _recv_outcomes(conns, round_no, procs=None, outcomes=None, beats=None):
+    """Collect one outcome per worker *without* failing fast.
+
+    Fills ``outcomes`` so slot ``s`` holds ``("ok", payload, blob)`` —
+    ``blob`` the piggybacked checkpoint snapshot, or ``None`` — or
+    ``("fail", exc)``.  Pre-populated (non-``None``) slots are kept
+    as-is and their connections left untouched; recovery uses this to
+    re-collect only the shards it re-dispatched while salvaging the
+    survivors' committed reports.  A parent-side watchdog checks
+    ``procs[s].is_alive()`` between poll ticks, so a worker that died
+    without writing surfaces immediately instead of at the shared
+    deadline; ``beats`` (when given) records per-shard report
+    timestamps — the heartbeat trail quoted by recovery warnings.
+    """
+    from multiprocessing.connection import wait as _conn_wait
+
+    timeout = SHARD_TIMEOUT
+    deadline = time.monotonic() + timeout if timeout > 0 else None
+    if outcomes is None:
+        outcomes = [None] * len(conns)
+    pending = [s for s in range(len(conns)) if outcomes[s] is None]
+    while pending:
+        progressed = False
+        for s in list(pending):
+            conn = conns[s]
+            try:
+                ready = conn.poll(0)
+            except (EOFError, OSError):
+                ready = True  # recv below surfaces the EOF
+            if not ready:
+                continue
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                outcomes[s] = (
+                    "fail", WorkerDiedError(shard=s, round_no=round_no)
+                )
+            else:
+                if beats is not None:
+                    beats[s] = time.monotonic()
+                if message[0] == "err":
+                    outcomes[s] = ("fail", message[1])
+                else:
+                    outcomes[s] = (
+                        "ok",
+                        message[1],
+                        message[2] if len(message) > 2 else None,
+                    )
+            pending.remove(s)
+            progressed = True
+        if progressed:
+            continue
+        # Watchdog: a worker that died without writing never becomes
+        # readable — surface it now rather than at the deadline.  A
+        # short grace poll first, in case its report is still landing.
+        for s in list(pending):
+            proc = procs[s] if procs is not None else None
+            if proc is not None and not proc.is_alive():
+                try:
+                    if conns[s].poll(0.2):
+                        continue  # report landed; next sweep reads it
+                except (EOFError, OSError):
+                    pass
+                outcomes[s] = (
+                    "fail", WorkerDiedError(shard=s, round_no=round_no)
+                )
+                pending.remove(s)
+        if not pending:
+            break
+        now = time.monotonic()
+        if deadline is not None and now >= deadline:
+            for s in pending:
+                outcomes[s] = (
+                    "fail", WorkerTimeoutError(s, round_no, timeout)
+                )
+            break
+        tick = 0.05
+        if deadline is not None:
+            tick = min(tick, max(0.001, deadline - now))
+        try:
+            _conn_wait([conns[s] for s in pending], timeout=tick)
+        except OSError:  # pragma: no cover - racing close
+            pass
+    return outcomes
 
 
 def _join_workers(procs, conns, grace=True):
@@ -633,15 +743,27 @@ def _join_workers(procs, conns, grace=True):
         conn.close()
 
 
-def _shard_worker(conn, shard):
-    """Worker loop of the multiprocessing channel (one forked process)."""
+def _shard_worker(conn, shard, checkpointing=False):
+    """Worker loop of the multiprocessing channel (one forked process).
+
+    Waits for explicit ops — ``("round0",)`` included — so a respawned
+    replacement restored from a checkpoint speaks the same protocol as
+    a fresh worker.  With ``checkpointing`` on, every ``round0``/
+    ``round`` reply piggybacks a pickled snapshot of the post-round
+    shard — the parent's round-level checkpoint material (D15).
+    """
     try:
-        conn.send(("ok", shard.round0()))
         while True:
             message = conn.recv()
             kind = message[0]
-            if kind == "round":
-                conn.send(("ok", shard.round(message[1])))
+            if kind == "round0":
+                report = shard.round0()
+                blob = snapshot_blob(shard) if checkpointing else None
+                conn.send(("ok", report, blob))
+            elif kind == "round":
+                report = shard.round(message[1])
+                blob = snapshot_blob(shard) if checkpointing else None
+                conn.send(("ok", report, blob))
             elif kind == "undone":
                 conn.send(("ok", shard.undone()))
             else:  # "stop"
@@ -660,65 +782,299 @@ def _shard_worker(conn, shard):
         conn.close()
 
 
-class ProcessChannel:
+def _regen_inbound(shards, payloads, wrap_pipe=False):
+    """Rebuild a round's inbound payloads from restored shard state.
+
+    Batch shards' sync payloads are a pure function of their committed
+    state, so the checkpointed round's exchange can be regenerated
+    without the original reports (whose pooled form may reference a
+    halo arena that no longer exists).  Per-node shards' in-flight
+    packets cannot be derived from state — but their original payloads
+    are plain data and remain valid as-is.  ``wrap_pipe`` tags each
+    payload in the piped-marker format expected by workers that hold a
+    halo plane.
+    """
+    if not all(isinstance(shard, BatchShard) for shard in shards):
+        return payloads
+    reports = []
+    for shard in shards:
+        outbound = shard._sync_payload()
+        if wrap_pipe:
+            outbound = {
+                dest: ("pipe", sliced) for dest, sliced in outbound.items()
+            }
+        reports.append(([], [], 0, None, outbound))
+    return _route(reports, len(shards))
+
+
+class _RecoveringChannel:
+    """Surgical-recovery machinery shared by the worker channels (D15).
+
+    Subclasses provide the transport: ``_conn_list``/``_proc_list``
+    (live pipe ends and processes, indexed by shard), ``_respawn_shard``
+    (replace one worker with a checkpoint-restored twin),
+    ``_restore_all``/``_recoverable`` (checkpoint access),
+    ``_fail_teardown`` (abandon the workers) and optionally
+    ``_handle_exhausted`` (the intermediate escalation rung — the
+    pooled channel rebuilds its pool before giving up on workers).
+
+    ``_run_op`` drives one exchange: dispatch the op to every worker,
+    collect all outcomes, and — when a worker died or hung — respawn
+    just that worker from the last round checkpoint and re-dispatch the
+    op to it alone, under the run's retry budget with exponential
+    backoff.  When workers are beyond saving, the channel restores
+    every shard from the checkpoint and finishes the run in-process
+    (``self.fallback``), so committed rounds are never re-executed.
+    """
+
+    def _init_recovery(self, k, rm):
+        self.k = k
+        self.rm = rm
+        self.fallback = None
+        self.beats = {}
+        self.round_no = 0
+
+    @staticmethod
+    def _message_for(op, payloads, s):
+        if op == "round":
+            return ("round", payloads[s])
+        return (op,)
+
+    def _ckpt_round(self):
+        latest = self.rm.latest
+        if latest is None or latest.round_no == INITIAL_ROUND:
+            return "initial"
+        return f"round-{latest.round_no}"
+
+    def _run_op(self, op, payloads=None):
+        outcomes = self._exchange(op, payloads, [None] * self.k)
+        if any(o is None or o[0] == "fail" for o in outcomes):
+            return self._recover(op, payloads, outcomes)
+        return self._commit(op, outcomes)
+
+    def _exchange(self, op, payloads, outcomes):
+        conns = self._conn_list()
+        for s in range(self.k):
+            if outcomes[s] is not None:
+                continue
+            try:
+                conns[s].send(self._message_for(op, payloads, s))
+            except (BrokenPipeError, OSError):
+                outcomes[s] = (
+                    "fail", WorkerDiedError(shard=s, round_no=self.round_no)
+                )
+        return _recv_outcomes(
+            conns, self.round_no, self._proc_list(), outcomes, self.beats
+        )
+
+    def _commit(self, op, outcomes):
+        reports = [o[1] for o in outcomes]
+        self._note_reports(op, reports)
+        if op != "undone" and self.rm.enabled:
+            self.rm.commit(
+                self.round_no, {s: o[2] for s, o in enumerate(outcomes)}
+            )
+        return reports
+
+    def _note_reports(self, op, reports):
+        pass
+
+    def _on_real_error(self, outcomes):
+        pass
+
+    def _handle_exhausted(self, op, payloads, cause):
+        return self._escalate_inline(op, payloads, cause)
+
+    def _recover(self, op, payloads, outcomes):
+        from .runner import note_recovery
+
+        rm = self.rm
+        while True:
+            failed = [
+                s for s, o in enumerate(outcomes)
+                if o is None or o[0] == "fail"
+            ]
+            if not failed:
+                reports = self._commit(op, outcomes)
+                note_recovery(rm.summary())
+                return reports
+            # A worker's real exception is a bug to surface, never an
+            # outage to recover from.
+            for s in failed:
+                o = outcomes[s]
+                if o is not None and not getattr(o[1], "retryable", False):
+                    self._on_real_error(outcomes)
+                    raise o[1]
+            cause = next(
+                (outcomes[s][1] for s in failed if outcomes[s] is not None),
+                WorkerDiedError(shard=failed[0], round_no=self.round_no),
+            )
+            if not self._recoverable():
+                # No usable checkpoint (checkpointing off, or shard
+                # state that would not pickle): tear down and let
+                # run_sharded's outer ladder restart on inline.
+                self._fail_teardown()
+                raise cause
+            if not rm.budget_left():
+                return self._handle_exhausted(
+                    op,
+                    payloads,
+                    RecoveryExhaustedError(
+                        failed[0], self.round_no, rm.attempts, cause
+                    ),
+                )
+            backoff = rm.backoff_for(SHARD_RETRY_BACKOFF)
+            for s in failed:
+                exc = outcomes[s][1] if outcomes[s] is not None else cause
+                rm.note_failure("respawn", s, self.round_no, exc)
+                beat = self.beats.get(s)
+                ago = (
+                    f"{time.monotonic() - beat:.1f}s ago"
+                    if beat is not None else "never"
+                )
+                warnings.warn(
+                    f"sharded worker {s} failed at round {self.round_no} "
+                    f"({exc}); last heartbeat {ago} — respawning it from "
+                    f"the {self._ckpt_round()} checkpoint "
+                    f"(attempt {rm.attempts}/{rm.max_retries})",
+                    ResilienceWarning,
+                    stacklevel=4,
+                )
+            if backoff > 0:
+                time.sleep(backoff)
+            try:
+                for s in failed:
+                    self._respawn_shard(s)
+                    outcomes[s] = None
+            except FaultError as exc:
+                return self._handle_exhausted(op, payloads, exc)
+            self._exchange(op, payloads, outcomes)
+
+    def _escalate_inline(self, op, payloads, cause):
+        from .runner import note_recovery
+
+        rm = self.rm
+        rm.note_failure("inline", None, self.round_no, cause)
+        warnings.warn(
+            f"sharded {op!r} could not be recovered on workers ({cause}); "
+            f"degrading to the inline channel from the "
+            f"{self._ckpt_round()} checkpoint",
+            ResilienceWarning,
+            stacklevel=4,
+        )
+        restored = self._restore_all()
+        self._fail_teardown()
+        self.fallback = InlineChannel(restored)
+        note_recovery(rm.summary())
+        if op == "round0":
+            return self.fallback.round0()
+        if op == "undone":
+            return self.fallback.undone()
+        return self.fallback.round(_regen_inbound(restored, payloads))
+
+
+class ProcessChannel(_RecoveringChannel):
     """Forked worker pool: one process per shard, piped exchange.
 
     The pool is forked per run — fork inherits the shard structures
     (graph slabs, node processes, kernels) copy-on-write, so nothing
     but the per-round boundary packets is ever pickled — and joined
-    when the run completes (``close``), crashed workers included.
+    when the run completes (``close``), crashed workers included.  A
+    worker that dies or hangs mid-round is respawned surgically from
+    the last round checkpoint (D15): the replacement re-runs only the
+    failed round while the run's other workers never notice.  Failures
+    during round 0 restore from the parent's own shard objects, which
+    stay pristine (workers mutate forked copies).
     """
 
     def __init__(self, shards):
         import multiprocessing
 
-        ctx = multiprocessing.get_context("fork")
+        self.ctx = multiprocessing.get_context("fork")
+        self._init_recovery(len(shards), RecoveryManager(len(shards)))
         self.conns = []
         self.procs = []
-        self.round_no = 0
+        self._initial = list(shards)
+        self._torn = False
         for shard in shards:
-            parent_conn, child_conn = ctx.Pipe()
-            proc = ctx.Process(
-                target=_shard_worker, args=(child_conn, shard), daemon=True
-            )
-            proc.start()
-            child_conn.close()
-            self.conns.append(parent_conn)
+            conn, proc = self._fork(shard)
+            self.conns.append(conn)
             self.procs.append(proc)
 
-    def _abort(self):
+    def _fork(self, shard):
+        parent_conn, child_conn = self.ctx.Pipe()
+        proc = self.ctx.Process(
+            target=_shard_worker,
+            args=(child_conn, shard, self.rm.enabled),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        return parent_conn, proc
+
+    def _conn_list(self):
+        return self.conns
+
+    def _proc_list(self):
+        return self.procs
+
+    def _recoverable(self):
+        rm = self.rm
+        return rm.enabled and (rm.latest is None or rm.latest.complete)
+
+    def _restore_one(self, s):
+        ckpt = self.rm.latest
+        if ckpt is None:
+            return self._initial[s]
+        return ckpt.restore(s)
+
+    def _restore_all(self):
+        if self.rm.latest is None:
+            return list(self._initial)
+        return self.rm.latest.restore_all()
+
+    def _respawn_shard(self, s):
+        old = self.procs[s]
+        if old.is_alive():
+            old.terminate()
+        old.join(timeout=5)
+        try:
+            self.conns[s].close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        conn, proc = self._fork(self._restore_one(s))
+        self.conns[s] = conn
+        self.procs[s] = proc
+
+    def _fail_teardown(self):
+        if self._torn:
+            return
+        self._torn = True
         _join_workers(self.procs, self.conns, grace=False)
 
-    def _recv_all(self):
-        return _recv_reports(self.conns, self._abort, self.round_no)
+    def _on_real_error(self, outcomes):
+        self._fail_teardown()
 
     def round0(self):
-        return self._recv_all()
+        if self.fallback is not None:
+            return self.fallback.round0()
+        return self._run_op("round0")
 
     def round(self, inbound):
+        if self.fallback is not None:
+            return self.fallback.round(inbound)
         self.round_no += 1
-        for s, conn in enumerate(self.conns):
-            try:
-                conn.send(("round", inbound[s]))
-            except (BrokenPipeError, OSError) as exc:
-                self._abort()
-                raise WorkerDiedError(
-                    shard=s, round_no=self.round_no
-                ) from exc
-        return self._recv_all()
+        return self._run_op("round", inbound)
 
     def undone(self):
-        for s, conn in enumerate(self.conns):
-            try:
-                conn.send(("undone",))
-            except (BrokenPipeError, OSError) as exc:
-                self._abort()
-                raise WorkerDiedError(
-                    shard=s, round_no=self.round_no
-                ) from exc
-        return self._recv_all()
+        if self.fallback is not None:
+            return self.fallback.undone()
+        return self._run_op("undone")
 
     def close(self):
+        if self._torn:
+            return
+        self._torn = True
         _join_workers(self.procs, self.conns)
 
 
@@ -868,13 +1224,19 @@ def _pool_worker(conn, arena):
 
     Spawned once per pool (fork inherits the halo arena mapping) and
     reused across runs — the per-run shard state arrives pickled with
-    the ``load`` message.  Failures propagate as the worker's real
-    exception; the parent poisons the pool on receipt.
+    the ``load`` message, which is acked before any round runs so the
+    parent can tell load failures from round failures.  ``restore``
+    loads a checkpointed shard instead, re-aiming the halo ring at the
+    checkpoint's write sequence so a replayed round lands in the same
+    double-buffer slot the failed attempt would have used.  A worker's
+    exception is reported per-message and the loop keeps serving — an
+    isolated shard bug no longer condemns its pool-mates.
     """
     import pickle
 
     shard = None
     halo = None
+    checkpointing = False
     try:
         while True:
             message = conn.recv()
@@ -882,21 +1244,36 @@ def _pool_worker(conn, arena):
             if kind == "stop":
                 break
             try:
-                if kind == "load":
+                if kind == "load" or kind == "restore":
                     shard = pickle.loads(message[1])
                     halo = (
                         _HaloPlane(arena, shard.halo_regions, shard.index)
                         if message[2] and arena is not None
                         else None
                     )
-                    conn.send(("ok", _serve_round0(shard, halo)))
+                    if kind == "restore":
+                        if halo is not None:
+                            halo.writes = message[3] + 1
+                        checkpointing = message[4]
+                    else:
+                        checkpointing = (
+                            message[3] if len(message) > 3 else False
+                        )
+                    conn.send(("ok", None))
+                elif kind == "round0":
+                    report = _serve_round0(shard, halo)
+                    blob = snapshot_blob(shard) if checkpointing else None
+                    conn.send(("ok", report, blob))
                 elif kind == "round":
-                    conn.send(("ok", _serve_round(shard, halo, message[1])))
+                    report = _serve_round(shard, halo, message[1])
+                    blob = snapshot_blob(shard) if checkpointing else None
+                    conn.send(("ok", report, blob))
                 elif kind == "undone":
                     conn.send(("ok", shard.undone()))
                 elif kind == "unload":
                     shard = None
                     halo = None
+                    checkpointing = False
             except BaseException as exc:
                 try:
                     conn.send(("err", exc))
@@ -952,25 +1329,45 @@ class WorkerPool:
             self.arena_size = max(nbytes, self.arena_size)
         self.arena = mmap.mmap(-1, self.arena_size)
 
+    def _spawn(self):
+        parent_conn, child_conn = self.ctx.Pipe()
+        proc = self.ctx.Process(
+            target=_pool_worker,
+            args=(child_conn, self.arena),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        return proc, parent_conn
+
     def lease(self, k):
-        """``k`` live workers (forked on demand), as ``(proc, conn)``."""
-        if any(not proc.is_alive() for proc, _ in self.workers):
-            # A worker died while idle (OOM kill, external signal):
-            # respawn the pool rather than dispatch to a corpse.
-            self.stop_workers()
+        """``k`` live workers (forked on demand), as ``(proc, conn)``.
+
+        A worker that died while idle (OOM kill, external signal) is
+        respawned in place — per-worker, so its healthy pool-mates keep
+        their warm state and pids.
+        """
         if self.arena is None:
             self.ensure_arena(self.arena_size)
+        for i, (proc, _) in enumerate(self.workers):
+            if not proc.is_alive():
+                self.respawn(i)
         while len(self.workers) < k:
-            parent_conn, child_conn = self.ctx.Pipe()
-            proc = self.ctx.Process(
-                target=_pool_worker,
-                args=(child_conn, self.arena),
-                daemon=True,
-            )
-            proc.start()
-            child_conn.close()
-            self.workers.append((proc, parent_conn))
+            self.workers.append(self._spawn())
         return self.workers[:k]
+
+    def respawn(self, i):
+        """Replace worker slot ``i`` with a fresh fork; return it."""
+        proc, conn = self.workers[i]
+        if proc.is_alive():
+            proc.terminate()
+        proc.join(timeout=5)
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        self.workers[i] = self._spawn()
+        return self.workers[i]
 
     def worker_pids(self):
         """Live worker pids (diagnostics and lifecycle tests)."""
@@ -1038,26 +1435,37 @@ def pool_scope():
             _POOL = None
 
 
-class PooledChannel:
+class PooledChannel(_RecoveringChannel):
     """Channel over the persistent pool: pickled load, shm halos.
 
-    Protocol per run: one ``load`` per shard (the pickled shard plus
-    whether the halo plane applies), then ``round``/``undone`` messages
-    mirroring :class:`ProcessChannel`, then one ``unload``.  Batched
-    shards exchange ghost state through the shared arena (the report
-    carries a marker, not the payload); per-node shards and oversized
-    payloads pipe their data exactly like the fork-per-run channel, so
-    every configuration stays bit-identical across channels.  A worker
-    failure raises the worker's real exception and poisons the pool —
-    the next pooled run starts a fresh one.
+    Protocol per run: one acked ``load`` per shard (the pickled shard
+    plus whether the halo plane applies), then ``round0``/``round``/
+    ``undone`` messages mirroring :class:`ProcessChannel`, then one
+    ``unload``.  Batched shards exchange ghost state through the shared
+    arena (the report carries a marker, not the payload); per-node
+    shards and oversized payloads pipe their data exactly like the
+    fork-per-run channel, so every configuration stays bit-identical
+    across channels.
+
+    Failure handling is per-worker (D15): a dead or hung worker is
+    respawned in its pool slot and ``restore``d from the last round
+    checkpoint while its pool-mates idle; if the budget runs out the
+    channel rebuilds the whole pool once from the checkpoint, then
+    finishes inline.  A worker's *real* exception is raised as-is, and
+    the pool survives it when every other worker stayed healthy — the
+    bug was the shard's, not the pool's.
     """
 
-    def __init__(self, pool, workers, owns_pool):
+    def __init__(self, pool, workers, owns_pool, rm, use_plane, plane_total):
         self.pool = pool
         self.workers = workers
         self.owns_pool = owns_pool
+        self.use_plane = use_plane
+        self.plane_total = plane_total
         self.closed = False
-        self.round_no = 0
+        self._rebuilt = False
+        self._overflow_warned = False
+        self._init_recovery(len(workers), rm)
 
     @classmethod
     def open(cls, shards):
@@ -1080,12 +1488,14 @@ class PooledChannel:
         )
         plane_total = shards[0].halo_total if use_plane else 0
         use_plane = use_plane and plane_total > 0
+        rm = RecoveryManager(len(shards))
         try:
             if use_plane:
                 pool.ensure_arena(plane_total)
             workers = pool.lease(len(shards))
             for (_, conn), blob in zip(workers, blobs):
-                conn.send(("load", blob, use_plane))
+                conn.send(("load", blob, use_plane, rm.enabled))
+            _recv_reports([conn for _, conn in workers], lambda: None, 0)
         except Exception:
             # Poison even the shared scope pool: a failed dispatch may
             # leave dead or half-loaded workers behind, and the next
@@ -1095,7 +1505,12 @@ class PooledChannel:
                 _POOL = None
             pool.poison()
             raise
-        return cls(pool, workers, owns)
+        channel = cls(pool, workers, owns, rm, use_plane, plane_total)
+        if rm.enabled:
+            # The load blobs double as the pre-round-0 checkpoint, so
+            # even a round-0 failure recovers surgically.
+            rm.commit(INITIAL_ROUND, dict(enumerate(blobs)))
+        return channel
 
     def _poison(self):
         global _POOL
@@ -1104,34 +1519,158 @@ class PooledChannel:
             _POOL = None
         self.pool.poison()
 
-    def _recv_all(self):
-        return _recv_reports(
-            [conn for _, conn in self.workers], self._poison, self.round_no
-        )
+    # -- recovery plumbing (see _RecoveringChannel) --------------------
 
-    def _send_all(self, message_of):
-        # A send-side pipe failure means a worker died between rounds;
-        # poison so the scope respawns instead of re-hitting the corpse.
+    def _conn_list(self):
+        return [conn for _, conn in self.workers]
+
+    def _proc_list(self):
+        return [proc for proc, _ in self.workers]
+
+    def _recoverable(self):
+        return self.rm.recoverable
+
+    def _restore_all(self):
+        return self.rm.latest.restore_all()
+
+    def _respawn_shard(self, s):
+        ckpt = self.rm.latest
+        proc, conn = self.pool.respawn(s)
+        self.workers[s] = (proc, conn)
+        conn.send(
+            ("restore", ckpt.blobs[s], self.use_plane,
+             ckpt.round_no, self.rm.enabled)
+        )
+        _recv_reports([conn], lambda: None, self.round_no)
+
+    def _fail_teardown(self):
+        self._poison()
+
+    def _on_real_error(self, outcomes):
+        # Keep the pool warm only when the failure is provably isolated:
+        # every other worker reported this op (ok, or its own real
+        # error).  A missing or retryable outcome means a worker may be
+        # hung or dead — leasing it to the next run would corrupt it.
+        healthy = all(
+            o is not None
+            and (o[0] == "ok" or not getattr(o[1], "retryable", False))
+            for o in outcomes
+        )
+        if not healthy:
+            self._poison()
+
+    def _handle_exhausted(self, op, payloads, cause):
+        from .runner import note_recovery
+
+        if self._rebuilt or not self.rm.recoverable:
+            return self._escalate_inline(op, payloads, cause)
+        self._rebuilt = True
+        self.rm.note_failure("rebuild", None, self.round_no, cause)
+        warnings.warn(
+            f"sharded worker pool gave up on surgical respawns at round "
+            f"{self.round_no} ({cause}); rebuilding the pool from the "
+            f"{self._ckpt_round()} checkpoint",
+            ResilienceWarning,
+            stacklevel=5,
+        )
+        note_recovery(self.rm.summary())
+        try:
+            return self._rebuild_and_redo(op, payloads)
+        except FaultError as exc:
+            return self._escalate_inline(op, payloads, exc)
+
+    def _rebuild_and_redo(self, op, payloads):
+        """Replace the poisoned pool wholesale and replay the failed op.
+
+        The fresh arena holds no round data, so every worker re-executes
+        the op with payloads regenerated from the restored shards
+        (piped, not shm) — after which the restored write sequence makes
+        subsequent rounds use the arena as usual.
+        """
+        global _POOL
+        ckpt = self.rm.latest
+        restored = ckpt.restore_all()
+        blobs = dict(ckpt.blobs)
+        self._poison()
+        self.closed = False
+        pool = WorkerPool()
+        if _POOL is None and _POOL_SCOPES > 0:
+            _POOL = pool
+        self.pool = pool
+        self.owns_pool = _POOL is not pool
+        if self.use_plane:
+            pool.ensure_arena(self.plane_total)
+        workers = pool.lease(self.k)
+        self.workers = list(workers)
         for s, (_, conn) in enumerate(self.workers):
-            try:
-                conn.send(message_of(s))
-            except (BrokenPipeError, OSError) as exc:
-                self._poison()
-                raise WorkerDiedError(
-                    shard=s, round_no=self.round_no
-                ) from exc
+            conn.send(
+                ("restore", blobs[s], self.use_plane,
+                 ckpt.round_no, self.rm.enabled)
+            )
+        _recv_reports(self._conn_list(), lambda: None, self.round_no)
+        if op == "round":
+            payloads = _regen_inbound(
+                restored, payloads, wrap_pipe=self.use_plane
+            )
+        outcomes = self._exchange(op, payloads, [None] * self.k)
+        failed = [
+            s for s, o in enumerate(outcomes) if o is None or o[0] == "fail"
+        ]
+        if not failed:
+            from .runner import note_recovery
+
+            reports = self._commit(op, outcomes)
+            note_recovery(self.rm.summary())
+            return reports
+        for s in failed:
+            o = outcomes[s]
+            if o is not None and not getattr(o[1], "retryable", False):
+                self._on_real_error(outcomes)
+                raise o[1]
+        raise WorkerDiedError(shard=failed[0], round_no=self.round_no)
+
+    def _note_reports(self, op, reports):
+        if (
+            self._overflow_warned
+            or not self.use_plane
+            or op == "undone"
+        ):
+            return
+        for report in reports:
+            outbound = report[4] if len(report) > 4 else None
+            if not outbound:
+                continue
+            if any(
+                isinstance(marker, tuple) and marker and marker[0] == "pipe"
+                for marker in outbound.values()
+            ):
+                self._overflow_warned = True
+                warnings.warn(
+                    f"sharded halo plane overflowed at round "
+                    f"{self.round_no}; oversized boundary payloads are "
+                    f"piping instead of using shared memory",
+                    ResilienceWarning,
+                    stacklevel=5,
+                )
+                return
+
+    # -- public channel interface --------------------------------------
 
     def round0(self):
-        return self._recv_all()
+        if self.fallback is not None:
+            return self.fallback.round0()
+        return self._run_op("round0")
 
     def round(self, inbound):
+        if self.fallback is not None:
+            return self.fallback.round(inbound)
         self.round_no += 1
-        self._send_all(lambda s: ("round", inbound[s]))
-        return self._recv_all()
+        return self._run_op("round", inbound)
 
     def undone(self):
-        self._send_all(lambda s: ("undone",))
-        return self._recv_all()
+        if self.fallback is not None:
+            return self.fallback.undone()
+        return self._run_op("undone")
 
     def close(self):
         if self.closed:
@@ -1158,9 +1697,22 @@ def open_channel(shards, channel):
         chan = PooledChannel.open(shards)
         if chan is not None:
             return chan
+        warnings.warn(
+            "sharded run's shard state does not pickle; degrading "
+            "mp-pooled to the fork-per-run mp channel (same bits)",
+            ResilienceWarning,
+            stacklevel=3,
+        )
         channel = "mp"
-    if channel in ("mp", "mp-pooled") and fork_available():
-        return ProcessChannel(shards)
+    if channel in ("mp", "mp-pooled"):
+        if fork_available():
+            return ProcessChannel(shards)
+        warnings.warn(
+            f"fork is unavailable on this platform; degrading the "
+            f"{channel!r} channel to inline (same bits, one process)",
+            ResilienceWarning,
+            stacklevel=3,
+        )
     return InlineChannel(shards)
 
 
@@ -1211,6 +1763,27 @@ class ShardedKernelLoop:
 
     def undone_indices(self):
         return [i for shard in self.channel.undone() for i in shard]
+
+    def commit_ledger(self, labels, rounds, outputs, finish_round, messages):
+        """Attach the driver's committed aggregation state (D15).
+
+        Called by the batch driver after it absorbs each round's
+        reports; a channel with a spill journal then persists the
+        checkpoint together with the ledger so a resumed run need not
+        replay committed rounds.  No-op on journal-less channels.
+        """
+        rm = getattr(self.channel, "rm", None)
+        if rm is None or rm.journal is None:
+            return
+        rm.note_ledger(
+            {
+                "labels": labels,
+                "rounds": rounds,
+                "outputs": dict(outputs),
+                "finish_round": dict(finish_round),
+                "messages": messages,
+            }
+        )
 
     def undone_by_shard(self):
         """Map ``shard index -> unfinished count`` (non-empty shards only)."""
@@ -1415,18 +1988,23 @@ def run_sharded(
     than ``n`` clamp to one node per shard; the empty graph degenerates
     to the single-process engine.
 
-    Resilience (D14): a run whose workers time out or die mid-round
+    Resilience (D14/D15): a worker that times out or dies mid-round
     (:class:`~repro.errors.WorkerTimeoutError` /
-    :class:`~repro.errors.WorkerDiedError`) is retried once on the
-    requested channel — shards are rebuilt from scratch, so the retry
-    is the same pure function of ``(graph, algorithm, seed, plan)`` —
-    and then degraded to the inline channel, which has no workers to
-    lose.  Real worker exceptions are not retried; they propagate
-    first-failure as before.
+    :class:`~repro.errors.WorkerDiedError`) is recovered *inside* the
+    channel — respawned alone and restored from the last round
+    checkpoint, escalating to a pool rebuild and finally to finishing
+    the run inline from the checkpoint (see ``_RecoveringChannel``).
+    Committed rounds are never re-executed, and the recovered run is
+    bit-identical by the D9 purity argument.  Only when no checkpoint
+    exists (``REPRO_CHECKPOINT=0``, or shard state that will not
+    pickle) does the legacy ladder below restart the whole run on the
+    workerless inline channel.  Real worker exceptions are never
+    retried; they propagate first-failure as before.
     """
     from .engine import run_batch, run_compiled
-    from .runner import note_stepping
+    from .runner import note_recovery, note_stepping
 
+    note_recovery(None)
     cg = graph.compiled()
     if cg.n == 0:
         return run_compiled(
@@ -1463,6 +2041,19 @@ def run_sharded(
         )
         if batch_shards is not None:
             note_stepping("shard-batch")
+        elif (
+            use_batch
+            and not track_bits
+            and numpy_or_none() is None
+            and capabilities_of(algorithm).get("supports_shard")
+        ):
+            warnings.warn(
+                "sharded batch kernels need numpy; stepping per node "
+                "instead (slower, same bits)",
+                ResilienceWarning,
+                stacklevel=3,
+            )
+        if batch_shards is not None:
             loop = ShardedKernelLoop(
                 open_channel(batch_shards, chan_kind), part.k, cg.n
             )
@@ -1507,17 +2098,24 @@ def run_sharded(
         finally:
             chan.close()
 
-    # Retry ladder: requested channel, once more on the same channel,
-    # then the workerless inline channel.  Only transport failures
-    # (retryable FaultErrors) walk the ladder.
-    ladder = [channel] if channel == "inline" else [channel, channel, "inline"]
-    last = len(ladder) - 1
-    for rung, chan_kind in enumerate(ladder):
-        try:
-            return attempt(chan_kind)
-        except FaultError as exc:
-            if not exc.retryable or rung == last:
-                raise
-            backoff = SHARD_RETRY_BACKOFF
-            if backoff > 0:
-                time.sleep(backoff)
+    # Outer ladder, reached only when in-channel recovery was
+    # unavailable (no checkpoint): restart the whole run once on the
+    # workerless inline channel.  Only transport failures (retryable
+    # FaultErrors) walk it; determinism makes the restart the same
+    # pure function of ``(graph, algorithm, seed, plan)``.
+    try:
+        return attempt(channel)
+    except FaultError as exc:
+        if channel == "inline" or not exc.retryable:
+            raise
+        warnings.warn(
+            f"sharded run failed on the {channel!r} channel with no "
+            f"usable checkpoint ({exc}); restarting from scratch on "
+            f"the inline channel",
+            ResilienceWarning,
+            stacklevel=2,
+        )
+        note_recovery("restart-inline")
+        if SHARD_RETRY_BACKOFF > 0:
+            time.sleep(SHARD_RETRY_BACKOFF)
+        return attempt("inline")
