@@ -256,7 +256,7 @@ class ColoringBatchKernel:
     # -- round steps ----------------------------------------------------
     def start(self):
         if self.L:
-            return [], [], int(self.bg.degrees.sum())
+            return [], [], self.bg.charge()
         finished, results = self._enter_kw()
         return finished, results, 0
 
@@ -268,7 +268,7 @@ class ColoringBatchKernel:
         if r <= self.L:
             self._linial_step(*self.steps[r - 1])
             if r < self.L:
-                return [], [], int(self.bg.degrees.sum())
+                return [], [], self.bg.charge()
             finished, results = self._enter_kw()
             return finished, results, 0
         return self._kw_step(r - self.L)
@@ -382,7 +382,7 @@ class ColoringBatchKernel:
             self.ann_mask = ann_mask
             self.ann_group = self.group
             self.ann_value = ann_value
-            messages = int(bg.degrees[rows].sum())
+            messages = bg.charge(rows)
         else:
             self.ann_mask = None
         finished, results = [], []
@@ -438,6 +438,7 @@ def fast_coloring():
         requires=("m", "Delta"),
         batch=_coloring_batch_factory(),
         shard=True,
+        fuse=True,
     )
 
 

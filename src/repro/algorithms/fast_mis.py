@@ -147,7 +147,7 @@ class MISBatchKernel(ColoringBatchKernel):
         finished.extend(lost)
         results.extend([0] * len(lost))
         self.done = self.sweep_ptr == bg.n
-        return finished, results, int(bg.degrees[joiners].sum())
+        return finished, results, bg.charge(joiners)
 
 
 def fast_mis():
@@ -158,6 +158,7 @@ def fast_mis():
         requires=("m", "Delta"),
         batch=_coloring_batch_factory(MISBatchKernel),
         shard=True,
+        fuse=True,
     )
 
 

@@ -90,6 +90,7 @@ def hash_luby_mis():
         ),
         shard=True,
         fault_batch=True,
+        fuse=True,
     )
 
 

@@ -163,7 +163,7 @@ class LubyBatchKernel:
         idx = np.flatnonzero(self.alive)
         self.prio[idx] = self.draws(idx, self.phase)
         if self.faults is None:
-            return int(self.bg.degrees[idx].sum())
+            return self.bg.charge(idx)
         self.bidders = self.alive.copy()
         delivered = self.faults.delivered_out(self.rounds)
         return int((delivered & self.alive[self.bg.owner]).sum())
@@ -240,7 +240,7 @@ class LubyBatchKernel:
             finished = crashed_idx + np.flatnonzero(winners).tolist()
             results = crashed_results + [1] * (len(finished) - len(crashed_idx))
             if faults is None:
-                messages = int(bg.degrees[winners].sum())
+                messages = bg.charge(winners)
             else:
                 messages = int(
                     (faults.delivered_out(self.rounds) & winners[bg.owner]).sum()
@@ -306,6 +306,7 @@ def luby_mis():
         batch=_luby_batch_factory(),
         shard=True,
         fault_batch=True,
+        fuse=True,
     )
 
 
@@ -343,6 +344,7 @@ def luby_mc():
         batch=_luby_batch_factory(budget_of=lambda g: mc_phases(g["n"])),
         shard=True,
         fault_batch=True,
+        fuse=True,
     )
 
 

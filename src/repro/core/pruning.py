@@ -113,6 +113,7 @@ class PruningAlgorithm:
             "rounds": self.rounds,
             "supports_batch": False,
             "supports_shard": False,
+            "supports_fuse": False,
             "domains": LocalAlgorithm.domains,
             "randomized": False,
             "uniform": True,
@@ -123,6 +124,7 @@ class PruningAlgorithm:
             return caps
         caps["supports_batch"] = inner.get("supports_batch", False)
         caps["supports_shard"] = inner.get("supports_shard", False)
+        caps["supports_fuse"] = inner.get("supports_fuse", False)
         caps["domains"] = inner.get("domains", caps["domains"])
         return caps
 

@@ -31,6 +31,7 @@ from .faults import (
     set_default_faults,
     use_faults,
 )
+from .fused import run_many, slab_cache_stats
 from .graph import SimGraph
 from .message import Broadcast
 from .runner import (
@@ -79,8 +80,10 @@ __all__ = [
     "flatten_outputs",
     "make_rng",
     "run",
+    "run_many",
     "run_restricted",
     "sample_plan",
+    "slab_cache_stats",
     "set_default_faults",
     "use_faults",
     "run_virtual_batch",

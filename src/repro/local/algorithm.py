@@ -77,11 +77,19 @@ class LocalAlgorithm:
         is a no-op.  Only then may the sharded engine run the kernel on
         partition sub-CSRs with halo exchange; uncertified algorithms
         shard through the (always-exact) per-node stepping instead.
+    fuse:
+        Whether the batch kernel is certified *fuse-safe* (DESIGN.md
+        D16): all cross-node reads follow CSR edges or compare by
+        value, global round/phase counters advance in lockstep for
+        every node, and every message-ledger contribution flows through
+        ``BatchGraph.charge``.  Only then may the fused engine run the
+        kernel on a block-diagonal multi-run slab; uncertified
+        algorithms run each lane solo instead.
     """
 
     __slots__ = (
         "name", "process", "requires", "randomized", "batch", "shard",
-        "fault_batch",
+        "fault_batch", "fuse",
     )
 
     #: Domain kinds a per-node algorithm runs on (capability record).
@@ -89,7 +97,7 @@ class LocalAlgorithm:
 
     def __init__(
         self, name, process, requires=(), randomized=False, batch=None,
-        shard=False, fault_batch=False,
+        shard=False, fault_batch=False, fuse=False,
     ):
         self.name = name
         self.process = process
@@ -98,6 +106,7 @@ class LocalAlgorithm:
         self.batch = batch
         self.shard = bool(shard)
         self.fault_batch = bool(fault_batch)
+        self.fuse = bool(fuse)
 
     @property
     def uniform(self):
@@ -115,6 +124,8 @@ class LocalAlgorithm:
         ``supports_faulted_batch`` whether it additionally consumes
         fault-injection masks (D14 — uncertified kernels fall back to
         the always-exact per-node stepping under an active plan),
+        ``supports_fuse`` whether the kernel may step several
+        independent runs as lanes of one block-diagonal slab (D16),
         ``domains`` where the algorithm may execute.  The registry
         (``repro.algorithms.registry``) aggregates these per Table-1
         row.
@@ -125,6 +136,7 @@ class LocalAlgorithm:
             "supports_shard": self.shard and self.batch is not None,
             "supports_faulted_batch": self.fault_batch
             and self.batch is not None,
+            "supports_fuse": self.fuse and self.batch is not None,
             "domains": self.domains,
             "randomized": self.randomized,
             "uniform": self.uniform,
@@ -181,6 +193,7 @@ class HostAlgorithm:
             "supports_batch": False,
             "supports_shard": False,
             "supports_faulted_batch": False,
+            "supports_fuse": False,
             "domains": self.domains,
             "randomized": self.randomized,
             "uniform": self.uniform,

@@ -151,6 +151,20 @@ class BatchGraph:
         self.degrees = self.offsets[1:] - self.offsets[:-1]
         self.owner = np.repeat(np.arange(self.n, dtype=np.int64), self.degrees)
 
+    def charge(self, senders=None):
+        """Message count for a broadcast by ``senders`` (all nodes if
+        ``None``).
+
+        Honest kernels route every message-ledger contribution through
+        this single seam so a subclass can also *attribute* the count
+        (the fused engine's :class:`~repro.local.fused.FusedBatchGraph`
+        splits it per lane, D16).  ``senders`` is an int-index array or
+        a boolean node mask.
+        """
+        if senders is None:
+            return int(self.degrees.sum())
+        return int(self.degrees[senders].sum())
+
 
 def batch_graph_of(cg):
     """The cached :class:`BatchGraph` mirror of a ``CompiledGraph``."""
@@ -379,7 +393,7 @@ class LockstepKernel:
         return list(range(self.bg.n))
 
     def _broadcast(self):
-        return int(self.bg.degrees.sum())
+        return self.bg.charge()
 
     def start(self):
         return [], [], self._broadcast()

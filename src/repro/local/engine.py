@@ -306,6 +306,9 @@ class CompiledGraph:
         "_pairs",
         "_batch",
         "_partitions",
+        # Weak-referenceable so the fused engine's slab cache (D16) can
+        # evict block-diagonal slabs when a member graph is collected.
+        "__weakref__",
     )
 
     def __init__(self, graph, _raw=None):

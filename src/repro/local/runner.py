@@ -57,7 +57,11 @@ SAFETY_ROUND_CAP = 100_000
 #: loop runs per graph shard with boundary exchange; it is also
 #: selected by passing ``shards=k`` to :func:`run` under any compiled
 #: backend.
-_BACKENDS = ("compiled", "reference", "batch", "sharded")
+#: ``"fused"`` is the multi-run engine (DESIGN.md D16): a single
+#: :func:`run` behaves like ``"batch"``, while
+#: :func:`~repro.local.fused.run_many` packs independent runs into one
+#: block-diagonal slab and steps them as lanes of one kernel.
+_BACKENDS = ("compiled", "reference", "batch", "sharded", "fused")
 _RNG_MODES = ("counter", "mt")
 #: Boundary-exchange channels of the sharded engine: ``"inline"`` steps
 #: the shards sequentially in-process (deterministic reference),
@@ -79,6 +83,14 @@ except ValueError:  # pragma: no cover - malformed environment
     DEFAULT_SHARDS = 2
 #: Default boundary-exchange channel of the sharded engine.
 DEFAULT_SHARD_CHANNEL = os.environ.get("REPRO_SHARD_CHANNEL", "inline")
+try:
+    #: Maximum lane width of one fused slab (DESIGN.md D16): a
+    #: ``run_many`` call packs at most this many runs per kernel, wider
+    #: batches are chunked.  Pin per scope with
+    #: ``use_backend("fused", lanes=b)``.
+    DEFAULT_FUSE_LANES = max(1, int(os.environ.get("REPRO_FUSE_LANES", "") or 32))
+except ValueError:  # pragma: no cover - malformed environment
+    DEFAULT_FUSE_LANES = 32
 #: Process-wide switch for the batched frontier-step path (DESIGN.md
 #: D10).  Off, every run steps per node — the fallback that also engages
 #: automatically when numpy is unavailable.  ``backend="batch"``
@@ -178,7 +190,7 @@ def set_default_backend(backend):
 
 
 @contextmanager
-def use_backend(backend, rng=None, shards=None, shard_channel=None):
+def use_backend(backend, rng=None, shards=None, shard_channel=None, lanes=None):
     """Temporarily pin the runner backend (and optionally the rng scheme,
     shard count and shard channel).
 
@@ -194,8 +206,13 @@ def use_backend(backend, rng=None, shards=None, shard_channel=None):
     each ``(A_i ; P)`` step of an alternation — reuses the warm
     workers, and the outermost scope exit joins them.  Pooled runs
     outside any scope fall back to a per-run pool.
+
+    ``use_backend("fused", lanes=b)`` pins the fused engine's lane
+    width (DESIGN.md D16): every :func:`~repro.local.fused.run_many`
+    inside the scope packs at most ``b`` runs per block-diagonal slab.
     """
     global DEFAULT_BACKEND, DEFAULT_RNG, DEFAULT_SHARDS, DEFAULT_SHARD_CHANNEL
+    global DEFAULT_FUSE_LANES
     if rng is not None and rng not in _RNG_MODES:
         raise ParameterError(f"unknown rng scheme {rng!r} (use {_RNG_MODES})")
     if shard_channel is not None and shard_channel not in _SHARD_CHANNELS:
@@ -213,15 +230,29 @@ def use_backend(backend, rng=None, shards=None, shard_channel=None):
                 "use_backend(..., shards=k) requires backend='sharded' "
                 f"(got {backend!r}); pass shards per call instead"
             )
+    if lanes is not None:
+        if int(lanes) < 1:
+            raise ParameterError(f"lanes must be >= 1, got {lanes}")
+        if backend != "fused":
+            # DEFAULT_FUSE_LANES only takes effect through run_many's
+            # fused packing; pinning it under another backend would be
+            # a silent no-op.
+            raise ParameterError(
+                "use_backend(..., lanes=b) requires backend='fused' "
+                f"(got {backend!r}); pass lanes per run_many call instead"
+            )
     prev_backend = set_default_backend(backend)
     prev_rng = DEFAULT_RNG
     prev_shards = DEFAULT_SHARDS
     prev_channel = DEFAULT_SHARD_CHANNEL
+    prev_lanes = DEFAULT_FUSE_LANES
     DEFAULT_RNG = rng if rng is not None else prev_rng
     if shards is not None:
         DEFAULT_SHARDS = int(shards)
     if shard_channel is not None:
         DEFAULT_SHARD_CHANNEL = shard_channel
+    if lanes is not None:
+        DEFAULT_FUSE_LANES = int(lanes)
     scope = None
     if backend == "sharded" or shard_channel == "mp-pooled":
         # Sharded scopes double as worker-pool scopes (D13): pooled runs
@@ -237,6 +268,7 @@ def use_backend(backend, rng=None, shards=None, shard_channel=None):
         DEFAULT_RNG = prev_rng
         DEFAULT_SHARDS = prev_shards
         DEFAULT_SHARD_CHANNEL = prev_channel
+        DEFAULT_FUSE_LANES = prev_lanes
         if scope is not None:
             scope.__exit__(None, None, None)
 
@@ -289,7 +321,7 @@ def resolve_execution(backend=None, rng=None, shards=None, shard_channel=None):
 
 def batching_requested(backend):
     """Whether a resolved backend name should take the batched path."""
-    return backend == "batch" or (
+    return backend in ("batch", "fused") or (
         backend in ("compiled", "sharded") and BATCH_ENABLED
     )
 

@@ -1,0 +1,322 @@
+"""Fused multi-run engine (DESIGN.md D16).
+
+The contract under test: every lane of a :func:`repro.local.run_many`
+call is *field-for-field identical* to its solo :func:`repro.local.run`
+— outputs, finish rounds, total rounds, message counts, truncation sets
+— under both rng schemes, across heterogeneous graphs, algorithms and
+seeds, whether the lane fused into a block-diagonal slab or fell back
+to a solo run.  Plus the machinery around it: slab caching, per-lane
+termination/cancellation, backend wiring, and speculative racing.
+"""
+
+from __future__ import annotations
+
+import gc
+
+import pytest
+
+from repro.algorithms import capability_table
+from repro.algorithms.fast_mis import fast_mis
+from repro.algorithms.hash_luby import hash_luby_mis
+from repro.algorithms.luby import luby_mc, luby_mis
+from repro.algorithms.ruling_sets import bitwise_ruling_set
+from repro.core import (
+    AlternationDiverged,
+    RaceArm,
+    mis_pruning,
+    render_trace,
+    speculative_race,
+)
+from repro.errors import LaneCancelled, NonTerminationError, ParameterError
+from repro.graphs import families, identifiers
+from repro.local import (
+    SimGraph,
+    run,
+    run_many,
+    slab_cache_stats,
+    use_backend,
+    zero_round_algorithm,
+)
+from repro.local import batch as batch_module
+from repro.local.algorithm import capabilities_of
+from repro.local.fused import fused_slab_of
+from repro.problems import MIS
+
+numpy = pytest.importorskip("numpy")
+
+
+def build(graph, *, seed=0):
+    idents = identifiers.SCHEMES["poly"](graph, seed=seed)
+    return SimGraph.from_networkx(graph, idents=idents)
+
+
+def fields_of(result):
+    return (
+        dict(result.outputs),
+        dict(result.finish_round),
+        result.rounds,
+        result.messages,
+        set(result.truncated),
+        result.max_message_bits,
+    )
+
+
+def jobs_matrix(small_gnp, medium_gnp):
+    """Heterogeneous lanes: two graphs, four algorithms, distinct seeds."""
+    mis_algo = luby_mis()
+    m = small_gnp.edge_count()
+    delta = small_gnp.max_degree
+    return [
+        (small_gnp, mis_algo, {"seed": 1}),
+        (small_gnp, luby_mc(), {"guesses": {"n": 40}, "seed": 2}),
+        (medium_gnp, hash_luby_mis(), {"guesses": {"n": 90}, "seed": 3}),
+        (small_gnp, fast_mis(), {"guesses": {"m": m, "Delta": delta}, "seed": 4}),
+        (medium_gnp, mis_algo, {"seed": 5, "salt": "other"}),
+    ]
+
+
+def solo_twin(job, *, rng, **kwargs):
+    graph, algorithm = job[0], job[1]
+    opts = job[2] if len(job) == 3 else {}
+    return run(
+        graph,
+        algorithm,
+        guesses=opts.get("guesses"),
+        seed=opts.get("seed", 0),
+        salt=opts.get("salt", 0),
+        rng=rng,
+        **kwargs,
+    )
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("rng", ("counter", "mt"))
+    def test_heterogeneous_matrix(self, small_gnp, medium_gnp, rng):
+        jobs = jobs_matrix(small_gnp, medium_gnp)
+        fused = run_many(jobs, rng=rng)
+        for job, result in zip(jobs, fused):
+            solo = solo_twin(job, rng=rng)
+            assert fields_of(result) == fields_of(solo), job[1].name
+
+    @pytest.mark.parametrize("rng", ("counter", "mt"))
+    def test_truncated_lanes_match_solo(self, small_gnp, medium_gnp, rng):
+        jobs = jobs_matrix(small_gnp, medium_gnp)
+        fused = run_many(jobs, max_rounds=1, default_output=0, rng=rng)
+        for job, result in zip(jobs, fused):
+            solo = solo_twin(job, rng=rng, max_rounds=1, default_output=0)
+            assert fields_of(result) == fields_of(solo), job[1].name
+            assert result.rounds <= 1
+
+    def test_chunked_lanes_match_unchunked(self, small_gnp):
+        jobs = [(small_gnp, luby_mis(), {"seed": s}) for s in range(5)]
+        wide = run_many(jobs)
+        narrow = run_many(jobs, lanes=2)
+        for a, b in zip(wide, narrow):
+            assert fields_of(a) == fields_of(b)
+
+    def test_shared_slab_chunks_are_isolated(self, medium_gnp):
+        # Eight lanes over one graph chunked to width 2: all four
+        # chunks hash to the same cached slab and step concurrently,
+        # so each must fork its own edge window — a lane settling in
+        # one chunk must not shrink the slab under the others.
+        algo = luby_mis()
+        jobs = [(medium_gnp, algo, {"seed": s}) for s in range(8)]
+        results = run_many(jobs, lanes=2)
+        for job, result in zip(jobs, results):
+            assert fields_of(result) == fields_of(solo_twin(job, rng=None))
+
+    def test_scalar_and_per_lane_seeds(self, small_gnp):
+        algo = luby_mis()
+        jobs = [(small_gnp, algo)] * 3
+        by_list = run_many(jobs, seeds=[4, 4, 4], salts=[0, 0, "x"])
+        by_scalar = run_many(jobs, seeds=4)
+        assert fields_of(by_list[0]) == fields_of(by_scalar[0])
+        assert fields_of(by_list[1]) == fields_of(by_scalar[1])
+        assert by_list[2].outputs != by_list[0].outputs or (
+            by_list[2].finish_round != by_list[0].finish_round
+        )
+
+
+class TestTermination:
+    def test_nontermination_lane_returned(self, path12):
+        finishes = build(families.gnp(5, 0.0, seed=1), seed=2)
+        jobs = [(path12, luby_mis()), (finishes, luby_mis())]
+        results = run_many(jobs, max_rounds=1, errors="return")
+        assert isinstance(results[0], NonTerminationError)
+        assert results[0].unfinished
+        assert results[1].rounds == 0
+        assert set(results[1].outputs.values()) == {1}
+
+    def test_nontermination_lane_raises_by_default(self, path12):
+        with pytest.raises(NonTerminationError):
+            run_many([(path12, luby_mis())], max_rounds=1)
+
+    def test_truncate_requires_max_rounds(self, small_gnp):
+        with pytest.raises(ParameterError):
+            run_many([(small_gnp, luby_mis())], truncate=True)
+
+    def test_errors_policy_validated(self, small_gnp):
+        with pytest.raises(ParameterError):
+            run_many([(small_gnp, luby_mis())], errors="ignore")
+
+
+class TestCancellation:
+    def test_winner_cancels_losers(self, small_gnp):
+        algo = luby_mis()
+        jobs = [(small_gnp, algo, {"seed": s}) for s in range(3)]
+        order = []
+
+        def first_wins(lane_index, result):
+            order.append(lane_index)
+            if len(order) == 1:
+                return [j for j in range(3) if j != lane_index]
+            return ()
+
+        results = run_many(jobs, on_lane_done=first_wins)
+        winner = order[0]
+        assert fields_of(results[winner]) == fields_of(
+            solo_twin(jobs[winner], rng=None)
+        )
+        losers = [r for j, r in enumerate(results) if j != winner]
+        assert all(isinstance(r, LaneCancelled) for r in losers)
+        assert all(r.winner == winner for r in losers)
+        # Cancelled lanes never raise, even under errors="raise".
+        assert len(order) == 1
+
+
+class TestFallbacks:
+    def test_uncertified_algorithm_runs_solo(self, small_gnp):
+        algo = bitwise_ruling_set()
+        caps = capabilities_of(algo)
+        assert caps["supports_batch"] and not caps["supports_fuse"]
+        m = small_gnp.edge_count()
+        jobs = [
+            (small_gnp, algo, {"guesses": {"m": m}, "seed": 3}),
+            (small_gnp, luby_mis()),
+        ]
+        fused = run_many(jobs)
+        for job, result in zip(jobs, fused):
+            assert fields_of(result) == fields_of(solo_twin(job, rng=None))
+
+    def test_numpy_free_environment(self, small_gnp, monkeypatch):
+        jobs = [(small_gnp, luby_mis(), {"seed": s}) for s in range(3)]
+        expected = [fields_of(r) for r in run_many(jobs)]
+        monkeypatch.setattr(batch_module, "_np", None)
+        degraded = run_many(jobs)
+        assert [fields_of(r) for r in degraded] == expected
+
+    def test_reference_backend_never_fuses(self, small_gnp):
+        jobs = [(small_gnp, luby_mis(), {"seed": s}) for s in range(2)]
+        via_ref = run_many(jobs, backend="reference")
+        for job, result in zip(jobs, via_ref):
+            solo = solo_twin(job, rng=None, backend="reference")
+            assert fields_of(result) == fields_of(solo)
+
+
+class TestSlabCache:
+    def test_cache_hits_on_reuse(self, small_gnp):
+        jobs = [(small_gnp, luby_mis(), {"seed": s}) for s in range(4)]
+        run_many(jobs)
+        before = slab_cache_stats()
+        run_many(jobs, seeds=9)
+        after = slab_cache_stats()
+        assert after["hits"] > before["hits"]
+        assert after["misses"] == before["misses"]
+
+    def test_compiled_graph_mirror_is_shared(self, small_gnp):
+        cg = small_gnp.compiled()
+        mirror = batch_module.batch_graph_of(cg)
+        assert batch_module.batch_graph_of(cg) is mirror
+        slab = fused_slab_of((cg, cg))
+        assert fused_slab_of((cg, cg)) is slab
+        assert slab.n == 2 * mirror.n
+
+    def test_eviction_on_graph_collection(self):
+        graph = build(families.gnp(12, 0.2, seed=3), seed=4)
+        run_many([(graph, luby_mis()), (graph, luby_mis(), {"seed": 1})])
+        before = slab_cache_stats()
+        del graph
+        gc.collect()
+        after = slab_cache_stats()
+        assert after["evictions"] > before["evictions"]
+
+
+class TestBackendWiring:
+    def test_use_backend_fused_lanes(self, small_gnp):
+        jobs = [(small_gnp, luby_mis(), {"seed": s}) for s in range(4)]
+        plain = run_many(jobs)
+        with use_backend("fused", lanes=2):
+            chunked = run_many(jobs)
+        for a, b in zip(plain, chunked):
+            assert fields_of(a) == fields_of(b)
+
+    def test_lanes_require_fused_backend(self):
+        with pytest.raises(ParameterError):
+            with use_backend("batch", lanes=2):
+                pass
+
+    def test_lanes_validated(self, small_gnp):
+        with pytest.raises(ParameterError):
+            run_many([(small_gnp, luby_mis())], lanes=0)
+        with pytest.raises(ParameterError):
+            with use_backend("fused", lanes=0):
+                pass
+
+    def test_job_shape_validated(self, small_gnp):
+        with pytest.raises(ParameterError):
+            run_many([(small_gnp,)])
+        with pytest.raises(ParameterError):
+            run_many([(small_gnp, luby_mis(), {"bogus": 1})])
+        with pytest.raises(ParameterError):
+            run_many([(small_gnp, luby_mc())])  # missing guess for n
+        with pytest.raises(ParameterError):
+            run_many([(small_gnp, luby_mis())] * 2, seeds=[1])
+
+    def test_capability_table_publishes_supports_fuse(self):
+        table = capability_table()
+        assert table["luby"]["supports_fuse"] is True
+        assert table["mis-fast"]["supports_fuse"] is True
+        assert table["mis-nonly"]["supports_fuse"] is True
+        for record in table.values():
+            assert "supports_fuse" in record
+            assert record["pruning"]["supports_fuse"] is False
+
+
+class TestSpeculativeRace:
+    def test_race_finds_verified_mis(self, small_gnp):
+        m = small_gnp.edge_count()
+        delta = small_gnp.max_degree
+        arms = [
+            luby_mis(),
+            RaceArm(luby_mc(), guesses={"n": 4}),  # hopeless guess
+            RaceArm(hash_luby_mis(), guesses={"n": 40}),
+            RaceArm(fast_mis(), guesses={"m": m, "Delta": delta}),
+        ]
+        result = speculative_race(small_gnp, arms, mis_pruning(), seed=3)
+        assert MIS.is_solution(small_gnp, {}, result.outputs)
+        assert result.completed
+        assert result.winner == arms[result.winner_index].name
+        assert result.heats == len(result.steps)
+        trace = render_trace(result)
+        assert "via fused/" in trace
+
+    def test_race_diverges_within_max_heats(self, small_gnp):
+        # An all-zeros "MIS" is independent but never maximal on a graph
+        # with edges, so this arm can never pass verification.
+        hopeless = zero_round_algorithm("all-out", lambda ctx: 0)
+        with pytest.raises(AlternationDiverged):
+            speculative_race(
+                small_gnp,
+                [hopeless],
+                mis_pruning(),
+                seed=1,
+                max_heats=2,
+            )
+
+    def test_race_arm_requires_guesses(self):
+        with pytest.raises(ParameterError):
+            RaceArm(luby_mc())
+
+    def test_race_needs_arms(self, small_gnp):
+        with pytest.raises(ParameterError):
+            speculative_race(small_gnp, [], mis_pruning())
