@@ -44,6 +44,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
 from repro.algorithms import TABLE1  # noqa: E402
+from repro.algorithms.arboricity import h_partition  # noqa: E402
 from repro.algorithms.fast_coloring import fast_coloring_rounds  # noqa: E402
 from repro.algorithms.fast_mis import fast_mis  # noqa: E402
 from repro.algorithms.luby import luby_mis  # noqa: E402
@@ -63,6 +64,7 @@ from repro.local import (  # noqa: E402
     use_backend,
     use_batch,
     use_faults,
+    use_roundfuse,
 )
 from repro.local import recovery  # noqa: E402
 
@@ -89,6 +91,10 @@ RATIOS = (
     # luby row (fused_gain_luby) is recorded as information — its solo
     # side is milliseconds-scale and too noisy for an 80% floor.
     ("fused_gain", "solo", "fused"),
+    # Round-fused unit (D17): per-round batch loop seconds / fused-drive
+    # seconds on the round-floor workloads (long fixed schedules of
+    # cheap rounds) — the per-round Python floor this ratio tracks.
+    ("roundfuse_gain", "batch", "roundfuse"),
 )
 
 
@@ -444,6 +450,80 @@ def unit_fused_sweep(n, b, reps):
     return out
 
 
+def unit_roundfuse(n, reps, alt_n=150):
+    """Round-fused phase drivers (D17): per-round batch vs fused drive.
+
+    The round-floor scenario this PR exists for, in two halves timed
+    together: H-partition peeling with a deliberately stretched ``ñ``
+    guess (``n⁸``, the overshooting-guess regime the Theorem-2 ladder
+    produces naturally → an ~8× longer fixed lockstep schedule of cheap
+    bincount rounds, the regime where the fused driver's fixed-point
+    early exit plus the hoisted per-round ledger bookkeeping dominate),
+    and the Theorem-2 Luby alternation at small ``alt_n`` (every
+    ``B_i = (A_i ; P)`` step is a handful of cheap pruner/decision
+    rounds, so per-round Python dispatch is most of the wall clock).
+
+    ``batch`` forces the per-round loop (``use_roundfuse(False)``);
+    ``roundfuse`` lets the fused drivers run.  Both configurations are
+    checked bit-identical before anything is recorded — a baseline can
+    never commit a diverging fused drive.  ``roundfuse_gain`` =
+    batch seconds / roundfuse seconds is the tracked (smoke-gated)
+    number.
+    """
+    graph = build_graph(WORKLOADS["gnp-sparse"](n, seed=4), seed=4)
+    small = build_graph(WORKLOADS["gnp-sparse"](alt_n, seed=4), seed=4)
+    peel = h_partition()
+    peel_guesses = {"a": 2, "n": n**8}
+
+    out = {}
+    signatures = {}
+    with use_backend("compiled", rng="counter"), use_batch(True):
+        for key, fused_on in (("batch", False), ("roundfuse", True)):
+            with use_roundfuse(fused_on):
+                state = {}
+
+                def fn():
+                    rounds = messages = 0
+                    signature = []
+                    for seed in (1, 2):
+                        got = run(
+                            graph, peel, seed=seed, guesses=peel_guesses
+                        )
+                        rounds += got.rounds
+                        messages += got.messages
+                        signature.append(
+                            (got.rounds, got.messages, got.outputs,
+                             got.finish_round)
+                        )
+                    _, _, uniform = TABLE1["luby"].build()
+                    alt = uniform.run(small, seed=1)
+                    rounds += alt.rounds
+                    signature.append((alt.rounds, alt.outputs))
+                    state["rounds"] = rounds
+                    state["messages"] = messages
+                    state["signature"] = signature
+
+                fn()  # warm caches (CSR compile, schedule memos)
+                seconds = _best(fn, reps)
+                signatures[key] = state.pop("signature")
+                entry = {"seconds": round(seconds, 6)}
+                entry.update(state)
+                if entry["seconds"] > 0:
+                    entry["rounds_per_sec"] = round(
+                        entry["rounds"] / entry["seconds"], 1
+                    )
+                out[key] = entry
+    if signatures["batch"] != signatures["roundfuse"]:
+        raise SystemExit(
+            "round-fused drive diverged from the per-round batch loop — "
+            "refusing to record"
+        )
+    out["roundfuse_gain"] = round(
+        out["batch"]["seconds"] / out["roundfuse"]["seconds"], 2
+    )
+    return out
+
+
 def unit_recovery_checkpoint(n, seeds, reps, k=2, channel="mp"):
     """Round-checkpoint cost of the self-healing shard channel (D15).
 
@@ -763,6 +843,26 @@ def check_bit_identity(n=120):
                 or solo.finish_round != got.finish_round
             ):
                 return False
+    # Round-fused identity (D17): every roundfuse-certified kernel
+    # driven fused must equal its per-round batch run — phase-scheduled
+    # (h-partition) and fixed-point (Luby family) drivers both, under
+    # both rng schemes.
+    rf_jobs = jobs + ((h_partition(), {"a": 2, "n": 1 << 24}),)
+    for rng in ("counter", "mt"):
+        for algo, g in rf_jobs:
+            pair = []
+            for fused_on in (True, False):
+                with use_backend("compiled", rng=rng), use_batch(True), \
+                        use_roundfuse(fused_on):
+                    pair.append(run(graph, algo, seed=3, guesses=g, rng=rng))
+            fused_run, plain = pair
+            if (
+                fused_run.outputs != plain.outputs
+                or fused_run.rounds != plain.rounds
+                or fused_run.messages != plain.messages
+                or fused_run.finish_round != plain.finish_round
+            ):
+                return False
     # Whole-alternation identity: guess runs AND pruner runs must agree
     # across every stepping strategy (D11 pruner batch contract, D12
     # sharded contract).  The rng scheme is pinned — the strategies are
@@ -816,6 +916,12 @@ def full_suite():
         # and only the dispatch share amortizes.
         "fused-sweep-n60xb32": unit_fused_sweep(60, 32, reps=3),
         "fused-sweep-n500xb32": unit_fused_sweep(500, 32, reps=3),
+        # Round-fused drivers (D17): the per-round Python floor on
+        # long-fixed-schedule workloads — stretched H-partition peeling
+        # plus a pruner-heavy small-n alternation, per-round batch loop
+        # vs one fused drive per run (roundfuse_gain is the tracked
+        # ≥3× number).
+        "roundfloor-n1200": unit_roundfuse(1200, reps=3),
         # Partitioned engine (D12): shard-count sweep over both
         # boundary channels on the pruning-heavy Luby alternation.
         "sharded-alternation-n2000": unit_sharded_alternation(
@@ -888,6 +994,13 @@ SMOKE_UNITS = {
     # any lane stops being bit-identical to its solo run, and
     # check_bit_identity diffs fused lanes on every smoke run.
     "smoke-fused": lambda: unit_fused_sweep(60, 32, reps=2),
+    # Round-fused gate unit (D17): the same round-floor scenario at
+    # smoke size.  roundfuse_gain falling below 80% of the baseline
+    # means the fused drivers stopped amortizing the per-round floor;
+    # the unit refuses to record if a fused drive stops being
+    # bit-identical, and check_bit_identity diffs roundfuse on/off on
+    # every smoke run.
+    "smoke-roundfuse": lambda: unit_roundfuse(600, reps=2, alt_n=100),
     # Recovery gate unit (D15): per-round checkpointing on vs off on
     # the fork-per-run channel.  checkpoint_gain falling below 80% of
     # the baseline means shard snapshots got materially more expensive;
@@ -948,6 +1061,11 @@ def render(units):
                 f"  fused vs solo: mis-fast={entry['fused_gain']:.2f}x"
                 f"  luby={entry.get('fused_gain_luby', 0):.2f}x"
                 f"  (b={entry['fused']['lanes']})"
+            )
+        if "roundfuse_gain" in entry:
+            lines.append(
+                f"  roundfuse vs per-round batch: "
+                f"{entry['roundfuse_gain']:.2f}x"
             )
     return "\n".join(lines)
 
@@ -1044,7 +1162,10 @@ def main(argv=None):
                     "wins). speedup = reference/compiled, speedup_batch = "
                     "reference/batch, batch_gain = compiled/batch, "
                     "sharded-*_gain = batch/sharded, checkpoint_gain = "
-                    "checkpoint-off/checkpoint-on (D15 round snapshots)."
+                    "checkpoint-off/checkpoint-on (D15 round snapshots), "
+                    "roundfuse_gain = per-round batch/round-fused drive "
+                    "(D17 phase-fused + fixed-point drivers, pure-numpy "
+                    "tier)."
                 ),
             },
             "units": units,

@@ -28,7 +28,7 @@ from ..core.bounds import AdditiveBound, ProductBound, custom
 from ..core.pruning import RulingSetPruning
 from ..core.transformer import NonUniform, theorem1
 from ..core.weak_domination import DominationWitness
-from ..local import batch
+from ..local import batch, jitkernels
 from ..local.algorithm import HostAlgorithm, LocalAlgorithm, NodeProcess
 from ..local.message import Broadcast
 from ..mathutils import ceil_log2
@@ -87,7 +87,7 @@ class HPartitionKernel(batch.LockstepKernel):
     __slots__ = ("threshold", "phases", "cls", "prev_peeled")
 
     def __init__(self, bg, threshold, phases):
-        super().__init__(bg)
+        super().__init__(bg, schedule=phases)
         np = batch.numpy_or_none()
         self.threshold = threshold
         self.phases = phases
@@ -109,6 +109,44 @@ class HPartitionKernel(batch.LockstepKernel):
             return [], [], self._broadcast()
         return self.finish([int(c) for c in self.cls.tolist()])
 
+    def run_phases(self):
+        """Fused peeling to fixed point (D17).
+
+        The recurrence reads only the previous round's peel set: a
+        round that peels nothing leaves ``cls`` and ``prev_peeled``
+        unchanged, so every remaining round is identical and the loop
+        may skip straight to the end of the schedule.  Results record
+        the round each node peeled at, which the early exit never
+        changes.
+        """
+        np = batch.numpy_or_none()
+        bg = self.bg
+        jit = jitkernels.peeling_loop()
+        if jit is not None:
+            cls = jit(
+                bg.offsets, bg.neigh, bg.degrees, self.cls,
+                self.threshold, self.phases,
+            )
+        else:
+            neigh, owner, degrees = bg.neigh, bg.owner, bg.degrees
+            threshold = self.threshold
+            cls = self.cls
+            prev_peeled = self.prev_peeled
+            for r in range(1, self.phases + 1):
+                peeled_neighbours = np.bincount(
+                    owner[prev_peeled[neigh]], minlength=bg.n
+                )
+                fresh = (cls == 0) & (
+                    degrees - peeled_neighbours <= threshold
+                )
+                if not fresh.any():
+                    break
+                cls[fresh] = r
+                prev_peeled = cls != 0
+        self.round = self.phases
+        self.prev_peeled = cls != 0
+        return self.finish([int(c) for c in cls.tolist()])[1]
+
 
 def _h_partition_batch_factory():
     def factory(bg, setup):
@@ -128,6 +166,9 @@ def h_partition():
         process=HPartitionProcess,
         requires=("a", "n"),
         batch=_h_partition_batch_factory(),
+        # Round-fuse-safe (D17): fixed lockstep schedule, full-broadcast
+        # rounds, and a fused peeling loop with a proven fixed point.
+        roundfuse=True,
     )
 
 

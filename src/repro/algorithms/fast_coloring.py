@@ -171,6 +171,7 @@ class ColoringBatchKernel:
         "ann_value",
         "in_sweep",
         "done",
+        "_undone",
     )
 
     def __init__(self, bg, setup, steps, palette, delta):
@@ -205,10 +206,25 @@ class ColoringBatchKernel:
         self.ann_mask = None
         self.in_sweep = False
         self.done = False
+        self._undone = None
 
     def undone_indices(self):
-        # The schedule is lockstep: until it completes, every node runs.
-        return list(range(self.bg.n))
+        # The schedule is lockstep: until it completes, every node runs
+        # (cached — the MIS subclass bypasses the cache mid-sweep).
+        undone = self._undone
+        if undone is None:
+            undone = self._undone = list(range(self.bg.n))
+        return undone
+
+    def run_fixedpoint(self, cap):
+        """Round-fused drive (D17) through the generic fixed-point loop.
+
+        The coloring schedule's per-round message counts vary (group-
+        local traffic, announcement rows), so arithmetic phase
+        accounting does not apply; the win is hoisting the driver's
+        per-round ledger bookkeeping.
+        """
+        return batch.generic_fixedpoint(self, cap)
 
     # -- stage transitions ----------------------------------------------
     def _enter_kw(self):
@@ -439,6 +455,10 @@ def fast_coloring():
         batch=_coloring_batch_factory(),
         shard=True,
         fuse=True,
+        # Round-fuse-safe (D17): self-terminating schedule driven
+        # through the generic fixed-point loop (variable per-round
+        # message counts rule out arithmetic phase accounting).
+        roundfuse=True,
     )
 
 

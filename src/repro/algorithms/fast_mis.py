@@ -106,8 +106,9 @@ class MISBatchKernel(ColoringBatchKernel):
     def undone_indices(self):
         np = batch.numpy_or_none()
         if self.in_sweep and self.sweep_order is not None:
+            # Dynamic during the sweep — never served from the cache.
             return np.sort(self.sweep_order[self.sweep_ptr :]).tolist()
-        return list(range(self.bg.n))
+        return super().undone_indices()
 
     def _sweep_step(self, s):
         np = batch.numpy_or_none()
@@ -159,6 +160,9 @@ def fast_mis():
         batch=_coloring_batch_factory(MISBatchKernel),
         shard=True,
         fuse=True,
+        # Round-fuse-safe (D17): see fast_coloring — the sweep
+        # self-terminates inside the generic fixed-point loop.
+        roundfuse=True,
     )
 
 

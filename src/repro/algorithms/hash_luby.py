@@ -91,6 +91,9 @@ def hash_luby_mis():
         shard=True,
         fault_batch=True,
         fuse=True,
+        # Round-fuse-safe (D17) via the Luby kernel's fixed-point
+        # driver (hash priorities plug into the same draw seam).
+        roundfuse=True,
     )
 
 

@@ -274,6 +274,89 @@ class LubyBatchKernel:
         return finished, results, messages
 
 
+    def run_fixedpoint(self, cap):
+        """Frontier-to-fixed-point drive for the round-fused tier (D17).
+
+        Executes the whole decide/retire phase alternation inside one
+        call with the hot-loop locals hoisted (CSR slabs, priority
+        array, budget) and no per-round ledger bookkeeping; the driver
+        settles the returned ``(round, finished, results)`` events
+        afterwards.  The divergence cap is enforced in here — at most
+        ``cap`` rounds execute, and a mid-phase exit leaves the kernel
+        state exactly where the per-round loop would have left it
+        (``undone_indices`` reads ``alive``).  Honest runs only: an
+        injected kernel steps through the generic per-round loop, which
+        the engine's fault gate guarantees structurally — the guard
+        below is belt and braces.
+        """
+        np = batch.numpy_or_none()
+        events = []
+        finished, results, messages = self.start()
+        if finished:
+            events.append((0, finished, results))
+        rounds = 0
+        if self.faults is not None:  # pragma: no cover - engine-gated
+            while not self.done and rounds < cap:
+                rounds += 1
+                finished, results, sent = self.step()
+                messages += sent
+                if finished:
+                    events.append((rounds, finished, results))
+            self.rounds = rounds
+            return events, rounds, messages
+        bg = self.bg
+        own, nb = bg.owner, bg.neigh
+        n = bg.n
+        charge = bg.charge
+        flags = batch.row_flags
+        flatnonzero = np.flatnonzero
+        prio = self.prio
+        budget = self.budget
+        alive = self.alive
+        while not self.done and rounds < cap:
+            # Decision round: a bidder beating every live rival joins.
+            rounds += 1
+            po, pn = prio[own], prio[nb]
+            rival = alive[own] & alive[nb]
+            rival &= (pn < po) | ((pn == po) & (nb < own))
+            beaten = flags(own[rival], n)
+            winners = alive & ~beaten
+            alive = alive & beaten
+            self.alive = alive
+            self.winners = winners
+            self.deciding = False
+            self.done = not bool(alive.any())
+            joined = flatnonzero(winners).tolist()
+            messages += charge(winners)
+            if joined:
+                events.append((rounds, joined, [1] * len(joined)))
+            if self.done or rounds >= cap:
+                break
+            # Retirement round: losers hear the wins, survivors rebid.
+            rounds += 1
+            heard = winners[nb] & alive[own]
+            retired = alive & flags(own[heard], n)
+            alive = alive & ~retired
+            finished = flatnonzero(retired).tolist()
+            results = [0] * len(finished)
+            if budget is not None and self.phase >= budget:
+                cut = flatnonzero(alive).tolist()
+                finished.extend(cut)
+                results.extend([NOT_IN_SET] * len(cut))
+                alive = alive & False
+            self.alive = alive
+            self.deciding = True
+            if alive.any():
+                self.rounds = rounds
+                messages += self._draw_bids()
+            else:
+                self.done = True
+            if finished:
+                events.append((rounds, finished, results))
+        self.rounds = rounds
+        return events, rounds, messages
+
+
 def _luby_batch_factory(budget_of=None, priorities=None):
     """Batch-kernel factory for a Luby-family algorithm.
 
@@ -307,6 +390,10 @@ def luby_mis():
         shard=True,
         fault_batch=True,
         fuse=True,
+        # Round-fuse-safe (D17): self-terminating frontier kernel with
+        # a dedicated fixed-point driver (honest runs only — the fault
+        # gate routes injected runs to the per-round loop).
+        roundfuse=True,
     )
 
 
@@ -345,6 +432,9 @@ def luby_mc():
         shard=True,
         fault_batch=True,
         fuse=True,
+        # Round-fuse-safe (D17): see luby_mis — the phase budget
+        # self-terminates inside the fixed-point driver.
+        roundfuse=True,
     )
 
 

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from ..core.bounds import AdditiveBound, custom
 from ..core.transformer import NonUniform
-from ..local import batch
+from ..local import batch, jitkernels
 from ..local.algorithm import LocalAlgorithm, NodeProcess
 from ..local.message import Broadcast
 from ..mathutils import ceil_log2
@@ -93,7 +93,7 @@ class BitwiseRulingKernel(batch.LockstepKernel):
     __slots__ = ("bits", "cand", "prev_cand")
 
     def __init__(self, bg, bits):
-        super().__init__(bg)
+        super().__init__(bg, schedule=bits)
         np = batch.numpy_or_none()
         self.bits = bits
         self.cand = np.ones(bg.n, dtype=bool)
@@ -119,6 +119,51 @@ class BitwiseRulingKernel(batch.LockstepKernel):
             return [], [], self._broadcast()
         return self.finish([1 if c else 0 for c in self.cand.tolist()])
 
+    def _column_matrix(self):
+        """All ``bits`` columns in round order as one (n, bits) matrix.
+
+        One big-int pass (``to_bytes`` per identity) replaces the
+        per-round O(n) Python column peel: ``unpackbits`` emits each
+        identity's masked bits MSB-first, which *is* the round order
+        (round r reads bit index ``bits - r``).
+        """
+        np = batch.numpy_or_none()
+        bits = self.bits
+        nbytes = (bits + 7) // 8
+        mask = (1 << bits) - 1
+        packed = b"".join(
+            (ident & mask).to_bytes(nbytes, "big") for ident in self.bg.idents
+        )
+        flat = np.frombuffer(packed, dtype=np.uint8).reshape(self.bg.n, nbytes)
+        return np.unpackbits(flat, axis=1)[:, nbytes * 8 - bits :]
+
+    def run_phases(self):
+        """Fused MSB→LSB cascade over the precomputed bit matrix (D17).
+
+        No fixed point exists here (every round reads a different
+        column), so the win is hoisting the per-round Python column
+        build and ledger bookkeeping out of the ``bits``-long loop.
+        """
+        bg = self.bg
+        colmat = self._column_matrix().astype(bool)
+        jit = jitkernels.bitwise_loop()
+        if jit is not None:
+            cand = jit(bg.offsets, bg.neigh, colmat, self.cand)
+        else:
+            neigh, owner = bg.neigh, bg.owner
+            cand = self.cand
+            prev_cand = self.prev_cand
+            for r in range(self.bits):
+                column = colmat[:, r]
+                zero_rival = prev_cand[neigh] & ~column[neigh]
+                blocked = batch.row_flags(owner[zero_rival], bg.n)
+                cand = cand & ~(column & blocked)
+                prev_cand = cand
+            self.prev_cand = prev_cand
+        self.cand = cand
+        self.round = self.bits
+        return self.finish([1 if c else 0 for c in cand.tolist()])[1]
+
 
 def _bitwise_batch_factory():
     def factory(bg, setup):
@@ -143,6 +188,10 @@ def bitwise_ruling_set():
         process=BitwiseRulingProcess,
         requires=("m",),
         batch=_bitwise_batch_factory(),
+        # Round-fuse-safe (D17): fixed bitlen(m̃) lockstep schedule with
+        # full-broadcast rounds; the fused cascade precomputes all bit
+        # columns in one pass.
+        roundfuse=True,
     )
 
 
@@ -185,6 +234,9 @@ def sw_ruling_set(c):
         randomized=True,
         batch=_luby_batch_factory(budget_of=lambda g: sw_phases(c, g["n"])),
         shard=True,
+        # Round-fuse-safe (D17) through the Luby kernel's fixed-point
+        # driver (the phase budget self-terminates inside it).
+        roundfuse=True,
     )
 
 

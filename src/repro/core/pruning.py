@@ -42,7 +42,7 @@ one pruner that rewrites inputs).
 
 from __future__ import annotations
 
-from ..local import batch
+from ..local import batch, jitkernels
 from ..local.algorithm import LocalAlgorithm, NodeProcess, capabilities_of
 from ..local.message import Broadcast
 from ..problems.coloring import SLC, SLCInput
@@ -114,6 +114,7 @@ class PruningAlgorithm:
             "supports_batch": False,
             "supports_shard": False,
             "supports_fuse": False,
+            "supports_roundfuse": False,
             "domains": LocalAlgorithm.domains,
             "randomized": False,
             "uniform": True,
@@ -125,6 +126,7 @@ class PruningAlgorithm:
         caps["supports_batch"] = inner.get("supports_batch", False)
         caps["supports_shard"] = inner.get("supports_shard", False)
         caps["supports_fuse"] = inner.get("supports_fuse", False)
+        caps["supports_roundfuse"] = inner.get("supports_roundfuse", False)
         caps["domains"] = inner.get("domains", caps["domains"])
         return caps
 
@@ -254,7 +256,7 @@ class RulingSetPruneKernel(batch.LockstepKernel):
     __slots__ = ("beta", "y_in", "center", "center_near", "prev_flag")
 
     def __init__(self, bg, inputs, beta):
-        super().__init__(bg)
+        super().__init__(bg, schedule=1 + beta)
         np = batch.numpy_or_none()
         self.beta = beta
         self.y_in = np.array(
@@ -284,6 +286,42 @@ class RulingSetPruneKernel(batch.LockstepKernel):
             return [], [], self._broadcast()
         pruned = self.center | (~self.y_in & self.center_near)
         return self.finish([PRUNE if p else KEEP for p in pruned.tolist()])
+
+    def run_phases(self):
+        """Fused center detection + β-flood to fixed point (D17).
+
+        ``center_near`` is monotone and ``prev_flag = center ∪
+        center_near``: a flooding round that marks nothing new leaves
+        ``prev_flag`` unchanged, so every remaining round is identical
+        and the loop may skip to the end of the schedule.
+        """
+        np = batch.numpy_or_none()
+        bg = self.bg
+        neigh, owner = bg.neigh, bg.owner
+        y_in = self.y_in
+        rival = y_in[owner] & y_in[neigh]
+        beaten = batch.row_flags(owner[rival], bg.n)
+        center = y_in & ~beaten
+        jit = jitkernels.flood_loop()
+        if jit is not None:
+            center_near = jit(bg.offsets, neigh, center, self.beta)
+            prev_flag = center | center_near
+        else:
+            center_near = np.zeros(bg.n, dtype=bool)
+            prev_flag = center
+            for _ in range(self.beta):
+                heard = prev_flag[neigh]
+                new_near = center_near | batch.row_flags(owner[heard], bg.n)
+                if np.array_equal(new_near, center_near):
+                    break
+                center_near = new_near
+                prev_flag = center | center_near
+        self.center = center
+        self.center_near = center_near
+        self.prev_flag = prev_flag
+        self.round = self.beta + 1
+        pruned = center | (~y_in & center_near)
+        return self.finish([PRUNE if p else KEEP for p in pruned.tolist()])[1]
 
 
 def _ruling_prune_batch_factory(beta):
@@ -322,6 +360,10 @@ class RulingSetPruning(PruningAlgorithm):
             # columns derived from per-label inputs, its reductions are
             # owner-side flag gathers and its messages degree sums.
             shard=True,
+            # Round-fuse-safe (D17): fixed 1+β lockstep schedule with
+            # full-broadcast rounds; the fused flood has a proven
+            # monotone fixed point.
+            roundfuse=True,
         )
 
 
@@ -406,7 +448,7 @@ class MatchingPruneKernel(batch.LockstepKernel):
     __slots__ = ("y", "same_count", "eq", "matched")
 
     def __init__(self, bg, codes):
-        super().__init__(bg)
+        super().__init__(bg, schedule=3)
         np = batch.numpy_or_none()
         self.y = np.asarray(codes, dtype=np.int64)
         self.same_count = None
@@ -467,6 +509,9 @@ class MatchingPruning(PruningAlgorithm):
             name=self.name,
             process=_MatchingPruneProcess,
             batch=_matching_prune_batch_factory(),
+            # Round-fuse-safe (D17): fixed 3-round lockstep schedule
+            # with full-broadcast rounds (generic fused phase loop).
+            roundfuse=True,
         )
 
 
@@ -539,7 +584,7 @@ class SLCPruneKernel(batch.LockstepKernel):
     __slots__ = ("xs", "ys", "codes", "ok")
 
     def __init__(self, bg, xs, ys, codes):
-        super().__init__(bg)
+        super().__init__(bg, schedule=2)
         np = batch.numpy_or_none()
         self.xs = xs
         self.ys = ys
@@ -621,4 +666,7 @@ class SLCPruning(PruningAlgorithm):
             name=self.name,
             process=_SLCPruneProcess,
             batch=_slc_prune_batch_factory(),
+            # Round-fuse-safe (D17): fixed 2-round lockstep schedule
+            # with full-broadcast rounds (generic fused phase loop).
+            roundfuse=True,
         )

@@ -41,8 +41,12 @@ from .runner import (
     run_restricted,
     set_batch_enabled,
     set_default_backend,
+    set_jit_enabled,
+    set_roundfuse_enabled,
     use_backend,
     use_batch,
+    use_jit,
+    use_roundfuse,
 )
 from .virtual import (
     VirtualSpec,
@@ -92,9 +96,13 @@ __all__ = [
     "run_with_wakeup",
     "running_time",
     "set_default_backend",
+    "set_jit_enabled",
+    "set_roundfuse_enabled",
     "termination_times",
     "use_backend",
     "use_batch",
+    "use_jit",
+    "use_roundfuse",
     "virtualize",
     "zero_round_algorithm",
 ]

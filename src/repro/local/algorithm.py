@@ -85,11 +85,21 @@ class LocalAlgorithm:
         ``BatchGraph.charge``.  Only then may the fused engine run the
         kernel on a block-diagonal multi-run slab; uncertified
         algorithms run each lane solo instead.
+    roundfuse:
+        Whether the batch kernel is certified *round-fuse-safe*
+        (DESIGN.md D17): the kernel either runs a fixed schedule known
+        at construction (``LockstepKernel`` subclasses exposing
+        ``run_phases``, whose message total settles arithmetically as
+        ``schedule × degrees.sum()``) or self-terminates and exposes a
+        ``run_fixedpoint`` driver whose per-round events replay the
+        exact ``start``/``step`` outcomes.  Only then may the engine
+        execute the whole round schedule inside one driver call;
+        uncertified kernels keep today's per-round stepping.
     """
 
     __slots__ = (
         "name", "process", "requires", "randomized", "batch", "shard",
-        "fault_batch", "fuse",
+        "fault_batch", "fuse", "roundfuse",
     )
 
     #: Domain kinds a per-node algorithm runs on (capability record).
@@ -97,7 +107,7 @@ class LocalAlgorithm:
 
     def __init__(
         self, name, process, requires=(), randomized=False, batch=None,
-        shard=False, fault_batch=False, fuse=False,
+        shard=False, fault_batch=False, fuse=False, roundfuse=False,
     ):
         self.name = name
         self.process = process
@@ -107,6 +117,7 @@ class LocalAlgorithm:
         self.shard = bool(shard)
         self.fault_batch = bool(fault_batch)
         self.fuse = bool(fuse)
+        self.roundfuse = bool(roundfuse)
 
     @property
     def uniform(self):
@@ -126,6 +137,8 @@ class LocalAlgorithm:
         the always-exact per-node stepping under an active plan),
         ``supports_fuse`` whether the kernel may step several
         independent runs as lanes of one block-diagonal slab (D16),
+        ``supports_roundfuse`` whether the kernel's whole round
+        schedule may execute inside one driver call (D17),
         ``domains`` where the algorithm may execute.  The registry
         (``repro.algorithms.registry``) aggregates these per Table-1
         row.
@@ -137,6 +150,7 @@ class LocalAlgorithm:
             "supports_faulted_batch": self.fault_batch
             and self.batch is not None,
             "supports_fuse": self.fuse and self.batch is not None,
+            "supports_roundfuse": self.roundfuse and self.batch is not None,
             "domains": self.domains,
             "randomized": self.randomized,
             "uniform": self.uniform,
@@ -194,6 +208,7 @@ class HostAlgorithm:
             "supports_shard": False,
             "supports_faulted_batch": False,
             "supports_fuse": False,
+            "supports_roundfuse": False,
             "domains": self.domains,
             "randomized": self.randomized,
             "uniform": self.uniform,

@@ -380,17 +380,30 @@ class LockstepKernel:
     charges ``degrees.sum()`` messages, and the final round reports all
     results with :meth:`finish`.  Subclasses keep only their own state
     in ``__slots__`` and implement ``step()``.
+
+    ``schedule`` is the number of ``step()`` calls the kernel takes to
+    finish (every node terminates on exactly the last one).  Declaring
+    it enables the round-fused driver (DESIGN.md D17): the whole
+    schedule executes inside one :meth:`run_phases` call and the
+    message total settles arithmetically as
+    ``schedule × degrees.sum()`` — ``start`` plus steps 1..schedule-1
+    each charge one full broadcast, the finishing step charges 0.
     """
 
-    __slots__ = ("bg", "round", "done")
+    __slots__ = ("bg", "round", "done", "schedule", "_undone")
 
-    def __init__(self, bg):
+    def __init__(self, bg, schedule=None):
         self.bg = bg
         self.round = 0
         self.done = False
+        self.schedule = schedule
+        self._undone = None
 
     def undone_indices(self):
-        return list(range(self.bg.n))
+        undone = self._undone
+        if undone is None:
+            undone = self._undone = list(range(self.bg.n))
+        return undone
 
     def _broadcast(self):
         return self.bg.charge()
@@ -402,6 +415,47 @@ class LockstepKernel:
         """Mark the run done and report every node's result."""
         self.done = True
         return list(range(self.bg.n)), results, 0
+
+    def run_phases(self):
+        """Execute the remaining schedule in one call; return results.
+
+        The generic fallback simply loops ``step()`` — subclasses
+        override with a fused phase loop that skips the per-round
+        bookkeeping (and may early-exit once their state provably stops
+        changing).  The driver has already consumed :meth:`start`'s
+        accounting arithmetically, so only the results list matters
+        here; callers must have checked ``schedule`` fits the round cap.
+        """
+        results = None
+        while not self.done:
+            _, results, _ = self.step()
+        return results
+
+
+def generic_fixedpoint(kernel, cap):
+    """Step a self-terminating kernel to its fixed point in one call.
+
+    The shared ``run_fixedpoint`` body for kernels without a dedicated
+    fused loop (D17): the per-round events — ``(round, finished,
+    results)`` — replay exactly what the per-round driver would have
+    committed, with the ledger bookkeeping (dict writes, cap compare
+    per commit, checkpoint probing) hoisted out of the loop.  At most
+    ``cap`` rounds execute; a kernel still undone afterwards is the
+    caller's truncation/non-termination case.
+    """
+    events = []
+    finished, results, messages = kernel.start()
+    if finished:
+        events.append((0, finished, results))
+    rounds = 0
+    step = kernel.step
+    while not kernel.done and rounds < cap:
+        rounds += 1
+        finished, results, sent = step()
+        messages += sent
+        if finished:
+            events.append((rounds, finished, results))
+    return events, rounds, messages
 
 
 def make_engine_kernel(

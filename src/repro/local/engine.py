@@ -546,6 +546,25 @@ def run_compiled(
             faults=faults,
         )
         if kernel is not None:
+            if faults is None:
+                # Round-fused tier (D17): certified kernels execute the
+                # whole schedule in one driver call; try_drive declines
+                # (capability, kill-switch, cap too small) back to the
+                # per-round loop below.  Injected runs never fuse — the
+                # fixed-point drivers are honest-only.
+                from .roundfuse import try_drive
+
+                fused = try_drive(
+                    kernel,
+                    cg,
+                    algorithm,
+                    cap=cap,
+                    truncating=truncating,
+                    default_output=default_output,
+                    result_cls=result_cls,
+                )
+                if fused is not None:
+                    return fused
             note_stepping("batch")
             return run_batch(
                 kernel,

@@ -1,0 +1,157 @@
+"""Optional numba-JIT inner loops for the round-fused tier (D17).
+
+The round-fused drivers (:mod:`repro.local.roundfuse`) already remove
+the per-round interpreter floor; this module optionally removes the
+per-round *numpy* floor too, by compiling the two or three hottest
+inner loops — the H-partition peeling recurrence, the bitwise ruling
+cascade and the ``P_(2,β)`` pruner flood — to native code via numba.
+
+The discipline is strictly additive and bit-identical:
+
+* numba is **never required**.  When it is not importable (the default
+  container has no numba) every accessor below returns ``None`` and the
+  pure-numpy fused loops run instead — same results bit for bit, the
+  property CI checks from both sides (a numba-free leg and a
+  with-numba leg).
+* the tier is **opt-in**: ``backend="jit"`` or ``REPRO_JIT=1`` request
+  it; without the request :func:`active` is false and the accessors
+  return ``None`` even with numba installed.
+* every compiled loop is integer/boolean arithmetic over the CSR slabs
+  — no floating point, so "compiled" and "interpreted" cannot diverge.
+
+Loops compile lazily on first use (``cache=True`` so repeated processes
+reuse numba's on-disk cache) and fall back to ``None`` if compilation
+itself fails for any reason.
+"""
+
+from __future__ import annotations
+
+try:  # pragma: no cover - the default container has no numba
+    import numba as _numba
+except ImportError:  # pragma: no cover
+    _numba = None
+
+_COMPILED = {}
+
+
+def available():
+    """True when numba is importable (the JIT tier *can* run)."""
+    return _numba is not None
+
+
+def active():
+    """True when numba is importable *and* the run requests the tier."""
+    if _numba is None:
+        return False
+    from .runner import use_jit_now
+
+    return use_jit_now()
+
+
+def _compile(name, py_impl):  # pragma: no cover - needs numba
+    fn = _COMPILED.get(name)
+    if fn is None:
+        try:
+            fn = _numba.njit(cache=True)(py_impl)
+        except Exception:
+            fn = False
+        _COMPILED[name] = fn
+    return fn or None
+
+
+def _peel_impl(offsets, neigh, degrees, cls, threshold, phases):
+    n = cls.shape[0]
+    for r in range(1, phases + 1):
+        fresh = 0
+        for v in range(n):
+            if cls[v] != 0:
+                continue
+            peeled = 0
+            for e in range(offsets[v], offsets[v + 1]):
+                w = neigh[e]
+                if cls[w] != 0 and cls[w] < r:
+                    peeled += 1
+            if degrees[v] - peeled <= threshold:
+                cls[v] = r
+                fresh += 1
+        if fresh == 0:
+            break
+    return cls
+
+
+def _bitwise_impl(offsets, neigh, colmat, cand):
+    n = cand.shape[0]
+    bits = colmat.shape[1]
+    prev = cand.copy()
+    for r in range(bits):
+        for v in range(n):
+            if not cand[v] or not colmat[v, r]:
+                continue
+            for e in range(offsets[v], offsets[v + 1]):
+                w = neigh[e]
+                if prev[w] and not colmat[w, r]:
+                    cand[v] = False
+                    break
+        for v in range(n):
+            prev[v] = cand[v]
+    return cand
+
+
+def _flood_impl(offsets, neigh, center, beta):
+    n = center.shape[0]
+    near = center & ~center  # all-False, same shape/dtype
+    prev = center.copy()  # prev_flag = center | near (near starts empty)
+    for _ in range(beta):
+        changed = False
+        for v in range(n):
+            if near[v]:
+                continue
+            for e in range(offsets[v], offsets[v + 1]):
+                if prev[neigh[e]]:
+                    near[v] = True
+                    changed = True
+                    break
+        if not changed:
+            break
+        for v in range(n):
+            prev[v] = center[v] or near[v]
+    return near
+
+
+def peeling_loop():
+    """``(offsets, neigh, degrees, cls, threshold, phases) -> cls``.
+
+    In-place H-partition peeling to fixed point.  ``cls[w] < r`` encodes
+    "peeled *before* round r" — the recurrence only ever reads the
+    previous round's peel set, matching the numpy loop's
+    ``prev_peeled`` exactly.
+    """
+    if not active():
+        return None
+    return _compile("peel", _peel_impl)  # pragma: no cover - needs numba
+
+
+def bitwise_loop():
+    """``(offsets, neigh, colmat, cand) -> cand`` (in place).
+
+    MSB→LSB candidate filtering over the precomputed (n, bits) bit
+    matrix; ``prev`` holds the previous round's candidates, matching
+    the numpy cascade.
+    """
+    if not active():
+        return None
+    return _compile("bitwise", _bitwise_impl)  # pragma: no cover
+
+
+def flood_loop():
+    """``(offsets, neigh, center, beta) -> center_near``.
+
+    The ``P_(2,β)`` outward flood with the same fixed-point early exit
+    as the numpy loop: a round that marks nothing new makes every later
+    round identical.  ``prev`` snapshots ``center | near`` *between*
+    sweeps, so the flood advances exactly one hop per round — the same
+    ``prev_flag`` discipline as the kernel's per-round step.
+    """
+    if not active():
+        return None
+    return _compile("flood", _flood_impl)  # pragma: no cover

@@ -61,7 +61,11 @@ SAFETY_ROUND_CAP = 100_000
 #: :func:`run` behaves like ``"batch"``, while
 #: :func:`~repro.local.fused.run_many` packs independent runs into one
 #: block-diagonal slab and steps them as lanes of one kernel.
-_BACKENDS = ("compiled", "reference", "batch", "sharded", "fused")
+#: ``"jit"`` is the round-fused tier with the numba JIT loops requested
+#: for that call (DESIGN.md D17): it resolves like ``"batch"`` and —
+#: when numba is importable — compiles the hottest fused inner loops;
+#: without numba it is exactly the pure-numpy round-fused path.
+_BACKENDS = ("compiled", "reference", "batch", "sharded", "fused", "jit")
 _RNG_MODES = ("counter", "mt")
 #: Boundary-exchange channels of the sharded engine: ``"inline"`` steps
 #: the shards sequentially in-process (deterministic reference),
@@ -99,6 +103,27 @@ BATCH_ENABLED = os.environ.get("REPRO_BATCH", "1").lower() not in (
     "0",
     "off",
     "false",
+)
+#: Process-wide switch for the round-fused drivers (DESIGN.md D17).
+#: On by default: certified kernels execute their whole round schedule
+#: inside one driver call instead of returning to the interpreter per
+#: round.  ``REPRO_ROUNDFUSE=0`` restores the per-round batch loop
+#: everywhere (the bit-identity fallback the equivalence suite diffs
+#: against).
+ROUNDFUSE_ENABLED = os.environ.get("REPRO_ROUNDFUSE", "1").lower() not in (
+    "0",
+    "off",
+    "false",
+)
+#: Process-wide request for the numba JIT tier of the round-fused
+#: drivers (DESIGN.md D17).  Off by default; ``REPRO_JIT=1`` (or
+#: ``backend="jit"`` per call) requests it.  The request is honoured
+#: only when numba is importable — otherwise the pure-numpy fused loops
+#: run, bit-identical.
+JIT_ENABLED = os.environ.get("REPRO_JIT", "0").lower() in (
+    "1",
+    "on",
+    "true",
 )
 
 
@@ -177,6 +202,55 @@ def use_batch(enabled):
         yield
     finally:
         set_batch_enabled(previous)
+
+
+def set_roundfuse_enabled(enabled):
+    """Toggle the round-fused drivers (D17); returns the previous value."""
+    global ROUNDFUSE_ENABLED
+    previous = ROUNDFUSE_ENABLED
+    ROUNDFUSE_ENABLED = bool(enabled)
+    return previous
+
+
+@contextmanager
+def use_roundfuse(enabled):
+    """Temporarily pin the round-fused-driver switch (the equivalence
+    suite diffs fused and per-round stepping under
+    ``use_roundfuse(False)``)."""
+    previous = set_roundfuse_enabled(enabled)
+    try:
+        yield
+    finally:
+        set_roundfuse_enabled(previous)
+
+
+def use_roundfuse_now():
+    """Whether an eligible run should take the round-fused drivers."""
+    return ROUNDFUSE_ENABLED
+
+
+def set_jit_enabled(enabled):
+    """Toggle the process-wide JIT request; returns the previous value."""
+    global JIT_ENABLED
+    previous = JIT_ENABLED
+    JIT_ENABLED = bool(enabled)
+    return previous
+
+
+@contextmanager
+def use_jit(enabled):
+    """Temporarily pin the JIT-tier request (``backend="jit"`` wraps its
+    run in this scope; honoured only when numba is importable)."""
+    previous = set_jit_enabled(enabled)
+    try:
+        yield
+    finally:
+        set_jit_enabled(previous)
+
+
+def use_jit_now():
+    """Whether the current run requests the numba JIT loops."""
+    return JIT_ENABLED
 
 
 def set_default_backend(backend):
@@ -321,7 +395,7 @@ def resolve_execution(backend=None, rng=None, shards=None, shard_channel=None):
 
 def batching_requested(backend):
     """Whether a resolved backend name should take the batched path."""
-    return backend in ("batch", "fused") or (
+    return backend in ("batch", "fused", "jit") or (
         backend in ("compiled", "sharded") and BATCH_ENABLED
     )
 
@@ -432,8 +506,11 @@ def run(
         specification loop), ``"batch"`` (the CSR engine with the
         batched frontier-step path explicitly requested; compiled runs
         auto-select it whenever the algorithm registers a kernel and
-        :data:`BATCH_ENABLED` is on) or ``"sharded"`` (the partitioned
-        round loop, DESIGN.md D12).  ``None`` uses the process default.
+        :data:`BATCH_ENABLED` is on), ``"sharded"`` (the partitioned
+        round loop, DESIGN.md D12) or ``"jit"`` (the round-fused tier
+        with the numba loops requested for this call, DESIGN.md D17 —
+        without numba it is the pure-numpy round-fused path,
+        bit-identical).  ``None`` uses the process default.
     rng:
         Per-node random-source scheme, ``"counter"`` or ``"mt"``;
         ``None`` uses the backend's native scheme.  Pin it when diffing
@@ -508,9 +585,7 @@ def run(
     if backend != "reference":
         from .engine import run_compiled
 
-        return run_compiled(
-            graph,
-            algorithm,
+        kwargs = dict(
             inputs=inputs,
             guesses=guesses,
             seed=seed,
@@ -524,6 +599,12 @@ def run(
             use_batch=batching_requested(backend),
             faults=faults,
         )
+        if backend == "jit":
+            # Per-call JIT request (D17): honoured only when numba is
+            # importable; otherwise the pure-numpy fused tier runs.
+            with use_jit(True):
+                return run_compiled(graph, algorithm, **kwargs)
+        return run_compiled(graph, algorithm, **kwargs)
     return _run_reference(
         graph,
         algorithm,

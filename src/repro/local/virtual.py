@@ -697,6 +697,48 @@ def _virtual_kernel(
     return kernel
 
 
+def _drive_virtual(kernel, algorithm, max_vrounds):
+    """Step a virtual kernel to its horizon; returns finish/result maps.
+
+    The shared drive of :func:`run_virtual_batch` and
+    :func:`run_virtual_batch_full`.  Round-fuse-certified kernels (D17)
+    execute their whole schedule in one fused call — virtual round
+    ``k`` is engine round ``k-1``, so the fused drive gets the engine
+    cap ``max_vrounds - 1`` and its events map back by ``+1``.  The
+    sharded ensemble loop exposes neither fused seam and falls through
+    to the per-round loop automatically, as does an ineligible or
+    switched-off configuration.
+    """
+    finish_vround = {}
+    results = {}
+    if capabilities_of(algorithm).get("supports_roundfuse"):
+        from .roundfuse import drive_kernel, stepping_tag
+        from .runner import note_stepping, use_roundfuse_now
+
+        if use_roundfuse_now():
+            driven = drive_kernel(kernel, max_vrounds - 1)
+            if driven is not None:
+                events, _rounds, _messages = driven
+                for rnd, finished, values in events:
+                    for i, value in zip(finished, values):
+                        finish_vround[i] = rnd + 1
+                        results[i] = value
+                note_stepping(stepping_tag())
+                return finish_vround, results
+    finished, values, _ = kernel.start()
+    for i, value in zip(finished, values):
+        finish_vround[i] = 1
+        results[i] = value
+    vround = 1
+    while not kernel.done and vround < max_vrounds:
+        vround += 1
+        finished, values, _ = kernel.step()
+        for i, value in zip(finished, values):
+            finish_vround[i] = vround
+            results[i] = value
+    return finish_vround, results
+
+
 def _require_guesses(algorithm, guesses):
     """Validate Γ̃ coverage with the runner's exact diagnostics."""
     guesses = dict(guesses or {})
@@ -814,20 +856,8 @@ def run_virtual_batch(
         return None
 
     max_vrounds = cap // spec.dilation + 1
-    finish_vround = {}
-    results = {}
     try:
-        finished, values, _ = kernel.start()
-        for i, value in zip(finished, values):
-            finish_vround[i] = 1
-            results[i] = value
-        vround = 1
-        while not kernel.done and vround < max_vrounds:
-            vround += 1
-            finished, values, _ = kernel.step()
-            for i, value in zip(finished, values):
-                finish_vround[i] = vround
-                results[i] = value
+        finish_vround, results = _drive_virtual(kernel, algorithm, max_vrounds)
     finally:
         closer = getattr(kernel, "close", None)
         if closer is not None:
@@ -902,23 +932,11 @@ def run_virtual_batch_full(
         return None
 
     max_vrounds = cap // spec.dilation + 1
-    finish_vround = {}
-    results = {}
     try:
-        finished, values, _ = kernel.start()
-        for i, value in zip(finished, values):
-            finish_vround[i] = 1
-            results[i] = value
-        vround = 1
         # The horizon grows with the stepping itself — kernel state
         # persists, so extending a budget is just stepping further (a
         # doubling-and-restart schedule degenerates to this loop).
-        while not kernel.done and vround < max_vrounds:
-            vround += 1
-            finished, values, _ = kernel.step()
-            for i, value in zip(finished, values):
-                finish_vround[i] = vround
-                results[i] = value
+        finish_vround, results = _drive_virtual(kernel, algorithm, max_vrounds)
     finally:
         closer = getattr(kernel, "close", None)
         if closer is not None:

@@ -533,14 +533,20 @@ class TestPrunerBatchEquivalence:
             _, _, uniform = TABLE1["luby"].build()
             result = uniform.run(small_gnp, seed=13)
         assert result.steps
+        # Both halves of each B_i = (A_i ; P) step are roundfuse-
+        # certified, so the fused driver tags them "rf" (D17) — or
+        # "jit" on the with-numba CI leg with the tier requested.
+        from repro.local.roundfuse import stepping_tag
+
+        tag = stepping_tag()
         for step in result.steps:
-            assert step.backends == ("batch", "batch")
+            assert step.backends == (tag, tag)
             assert step.seconds is not None and step.seconds >= 0
         summary = result.backend_summary()
         assert summary == {
-            "batch|batch": {
+            f"{tag}|{tag}": {
                 "steps": len(result.steps),
-                "seconds": summary["batch|batch"]["seconds"],
+                "seconds": summary[f"{tag}|{tag}"]["seconds"],
             }
         }
         with use_backend("compiled", rng="counter"), use_batch(False):

@@ -214,7 +214,7 @@ class TestFaultSemantics:
         guesses = {"m": small_gnp.max_ident, "Delta": small_gnp.max_degree}
         plan = mixed_plan(small_gnp)
         run(small_gnp, fast_mis(), seed=4, rng="counter", guesses=guesses)
-        assert last_stepping() == "batch"  # honest runs keep the kernel
+        assert last_stepping() == "rf"  # honest runs keep the fused kernel
         base = run(small_gnp, fast_mis(), seed=4, rng="counter",
                    guesses=guesses, backend="reference", faults=plan)
         compiled = run(small_gnp, fast_mis(), seed=4, rng="counter",

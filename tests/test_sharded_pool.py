@@ -308,5 +308,5 @@ class TestPooledShardCertifiedKernels:
             shards=2, shard_channel="mp-pooled",
         )
         assert_results_equal(base, pooled, context="big idents")
-        assert stepping_base == "batch"  # unsharded batch still eligible
+        assert stepping_base == "rf"  # unsharded fused kernel still eligible
         assert last_stepping() == "shard-per-node"
