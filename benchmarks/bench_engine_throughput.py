@@ -35,6 +35,7 @@ import contextlib
 import json
 import os
 import platform
+import random
 import sys
 import tempfile
 import time
@@ -54,10 +55,13 @@ from repro.core.alternating import AlternationDiverged  # noqa: E402
 from repro.graphs import line_graph_spec  # noqa: E402
 from repro.local import (  # noqa: E402
     FaultPlan,
+    GraphDelta,
+    SimGraph,
     byzantine_silent,
     crash_at,
     drop,
     garble,
+    open_session,
     run,
     run_many,
     sample_plan,
@@ -95,6 +99,10 @@ RATIOS = (
     # seconds on the round-floor workloads (long fixed schedules of
     # cheap rounds) — the per-round Python floor this ratio tracks.
     ("roundfuse_gain", "batch", "roundfuse"),
+    # Session unit (D18): stateless cold rebuild-per-request seconds /
+    # live-session mutate+rerun seconds on a churn workload — the
+    # incremental CSR patch win the live-graph service exists for.
+    ("session_gain", "cold-rebuild", "session"),
 )
 
 
@@ -588,6 +596,117 @@ def unit_recovery_checkpoint(n, seeds, reps, k=2, channel="mp"):
     return out
 
 
+def _churn_script(base, requests, churn, seed):
+    """Deterministic edge-churn request stream over ``base``.
+
+    Returns ``[(delta, snapshot), ...]``: per request, a small
+    :class:`GraphDelta` (a few edge deletes + inserts, node set fixed)
+    plus a networkx snapshot of the topology *after* that delta — the
+    full-graph payload a stateless service would have to re-ingest.
+    """
+    import networkx as nx
+
+    rnd = random.Random(seed)
+    truth = nx.Graph(base)
+    nodes = list(truth.nodes())
+    script = []
+    for _ in range(requests):
+        dels = rnd.sample(list(truth.edges()), churn // 2)
+        gone = {frozenset(e) for e in dels}
+        adds = []
+        while len(adds) < churn - len(dels):
+            u, v = rnd.sample(nodes, 2)
+            key = frozenset((u, v))
+            if truth.has_edge(u, v) or key in gone:
+                continue
+            if key in {frozenset(e) for e in adds}:
+                continue
+            adds.append((u, v))
+        truth.remove_edges_from(dels)
+        truth.add_edges_from(adds)
+        script.append((
+            GraphDelta(add_edges=adds, del_edges=dels),
+            nx.Graph(truth),
+        ))
+    return script
+
+
+def unit_session_churn(n, reps, requests=8, churn=4):
+    """Live-graph session service vs stateless rebuilds (D18).
+
+    The serving scenario the session exists for: a long-lived engine
+    holds a graph under churn, and each request applies a small delta
+    (``churn`` edge flips) then re-answers a Luby MIS query.  The
+    ``session`` side mutates one :class:`SimulationSession` in place —
+    incremental CSR row patch, no networkx round-trip, no identity
+    re-sort.  The ``cold-rebuild`` side is what the batch engines force
+    on a service: re-ingest the whole mutated topology from networkx
+    and run from scratch, every request.
+
+    Every request is checked bit-identical across the two sides —
+    outputs and round counts — before anything is timed; divergence
+    refuses to record.  ``session_gain`` (cold seconds / session
+    seconds) is the acceptance-gated ≥3× number.
+    """
+    base = WORKLOADS["gnp-sparse"](n, seed=21)
+    graph = build_graph(base, seed=21)
+    idents = dict(graph.ident)
+    script = _churn_script(base, requests, churn, seed=97)
+    algo = luby_mis()
+
+    def session_once():
+        signature = []
+        with open_session(graph, rng="counter") as session:
+            for delta, _ in script:
+                session.mutate(delta)
+                result = session.rerun(algo, seed=5)
+                signature.append((result.rounds, result.outputs))
+        return signature
+
+    def cold_once():
+        signature = []
+        for _, snapshot in script:
+            rebuilt = SimGraph.from_networkx(snapshot, idents=idents)
+            result = run(rebuilt, algo, seed=5, rng="counter")
+            signature.append((result.rounds, result.outputs))
+        return signature
+
+    out = {}
+    with _backend_context("batch"):
+        # Warm-up doubles as the identity gate: per request, the live
+        # session's answer must equal the cold rebuild's, bit for bit.
+        warm = session_once()
+        if warm != cold_once():
+            raise SystemExit(
+                "live-session reruns diverged from cold rebuilds — "
+                "refusing to record"
+            )
+        state = {}
+        rounds = sum(r for r, _ in warm)
+        out["session"] = {
+            "seconds": round(
+                _best(lambda: state.update(s=session_once()), reps), 6
+            ),
+            "requests": len(script),
+            "rounds": rounds,
+        }
+        out["cold-rebuild"] = {
+            "seconds": round(
+                _best(lambda: state.update(c=cold_once()), reps), 6
+            ),
+            "requests": len(script),
+            "rounds": rounds,
+        }
+        if state["s"] != state["c"]:
+            raise SystemExit(
+                "timed session/cold signatures diverged — refusing to record"
+            )
+    out["session_gain"] = round(
+        out["cold-rebuild"]["seconds"] / out["session"]["seconds"], 2
+    )
+    return out
+
+
 #: Adversarial node profiles swept by the degradation axis (D14).
 FAULT_PROFILES = {
     "drop": lambda: drop(0.5),        # faulty senders drop half their edges
@@ -883,6 +1002,68 @@ def check_bit_identity(n=120):
     for other in alternations[1:]:
         if first.outputs != other.outputs or first.rounds != other.rounds:
             return False
+    # Live-session identity (D18): a mutate-then-rerun on a long-lived
+    # session must equal a cold run on a from-scratch rebuild of the
+    # mutated topology — per strategy, per boundary channel, and per
+    # fused lane.  The session patches the CSR row slices incrementally,
+    # so this is the gate that the patch path stays bit-exact.
+    truth = graph.to_networkx()
+    gone = next(iter(truth.edges()))
+    grown = next(
+        (a, b)
+        for a in nodes
+        for b in nodes
+        if a < b and not truth.has_edge(a, b)
+    )
+    fresh, fresh_ident = max(nodes) + 1, graph.max_ident + 11
+    delta = GraphDelta(
+        add_nodes={fresh: fresh_ident},
+        del_edges=[gone],
+        add_edges=[grown, (fresh, nodes[0])],
+    )
+    truth.remove_edge(*gone)
+    truth.add_node(fresh)
+    truth.add_edge(*grown)
+    truth.add_edge(fresh, nodes[0])
+    idents = dict(graph.ident)
+    idents[fresh] = fresh_ident
+    oracle = SimGraph.from_networkx(truth, idents=idents)
+    with open_session(graph, rng="counter") as session:
+        session.mutate(delta)
+        pairs = []
+        for backend in BACKENDS:
+            with _backend_context(backend):
+                pairs.append((
+                    session.rerun(luby_mis(), seed=3),
+                    run(oracle, luby_mis(), seed=3, rng="counter"),
+                ))
+        for channel in SHARD_CHANNELS:
+            pairs.append((
+                session.rerun(
+                    luby_mis(), seed=3, backend="sharded", shards=3,
+                    shard_channel=channel,
+                ),
+                run(
+                    oracle, luby_mis(), seed=3, rng="counter",
+                    shards=3, shard_channel=channel,
+                ),
+            ))
+        live_lanes = session.rerun_many(
+            [(luby_mis(), {"seed": s}) for s in (3, 4)]
+        )
+        cold_lanes = run_many(
+            [(oracle, luby_mis(), {"seed": s}) for s in (3, 4)],
+            rng="counter",
+        )
+        pairs.extend(zip(live_lanes, cold_lanes))
+    for live, cold in pairs:
+        if (
+            live.outputs != cold.outputs
+            or live.rounds != cold.rounds
+            or live.messages != cold.messages
+            or live.finish_round != cold.finish_round
+        ):
+            return False
     return True
 
 
@@ -933,6 +1114,12 @@ def full_suite():
         "recovery-checkpoint-n2000": unit_recovery_checkpoint(
             2000, (1, 2), reps=3
         ),
+        # Live-graph session service (D18): per-request small delta +
+        # rerun on a long-lived session vs a stateless cold rebuild of
+        # the whole topology per request — session_gain is the
+        # acceptance-gated ≥3× number, and the unit refuses to record
+        # if a session rerun ever diverges from its rebuild oracle.
+        "session-churn-n2000": unit_session_churn(2000, reps=3),
         # Adversarial degradation axis (D14): fault rate × profile sweep
         # on the same alternation — solution quality (MIS violation
         # counts) and round counts under injection; crash profiles stall
@@ -1009,6 +1196,13 @@ SMOKE_UNITS = {
     "smoke-recovery": lambda: unit_recovery_checkpoint(
         SMOKE_N, (1,), reps=2
     ),
+    # Live-session gate unit (D18): the churn scenario at smoke size.
+    # session_gain falling below 80% of the baseline means the
+    # incremental CSR patch stopped beating stateless rebuilds; the
+    # unit refuses to record if a session rerun ever diverges from its
+    # cold-rebuild oracle, and check_bit_identity diffs a mutated
+    # session against a from-scratch build on every smoke run.
+    "smoke-session": lambda: unit_session_churn(SMOKE_N, reps=2),
 }
 
 
@@ -1066,6 +1260,11 @@ def render(units):
             lines.append(
                 f"  roundfuse vs per-round batch: "
                 f"{entry['roundfuse_gain']:.2f}x"
+            )
+        if "session_gain" in entry:
+            lines.append(
+                f"  session vs cold rebuild: {entry['session_gain']:.2f}x"
+                f" ({entry['session']['requests']} churn requests)"
             )
     return "\n".join(lines)
 
@@ -1165,7 +1364,9 @@ def main(argv=None):
                     "checkpoint-off/checkpoint-on (D15 round snapshots), "
                     "roundfuse_gain = per-round batch/round-fused drive "
                     "(D17 phase-fused + fixed-point drivers, pure-numpy "
-                    "tier)."
+                    "tier), session_gain = stateless cold "
+                    "rebuild-per-request/live-session mutate+rerun (D18 "
+                    "incremental CSR patch on a long-lived session)."
                 ),
             },
             "units": units,

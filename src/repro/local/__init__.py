@@ -32,8 +32,9 @@ from .faults import (
     use_faults,
 )
 from .fused import run_many, slab_cache_stats
-from .graph import SimGraph
+from .graph import GraphDelta, SimGraph
 from .message import Broadcast
+from .service import SimulationSession, open_session
 from .runner import (
     RunResult,
     last_faults,
@@ -65,6 +66,7 @@ __all__ = [
     "FaultPlan",
     "FunctionProcess",
     "GARBLED",
+    "GraphDelta",
     "HostAlgorithm",
     "LocalAlgorithm",
     "Partition",
@@ -79,10 +81,12 @@ __all__ = [
     "NodeProcess",
     "RunResult",
     "SimGraph",
+    "SimulationSession",
     "VirtualSpec",
     "default_carry",
     "flatten_outputs",
     "make_rng",
+    "open_session",
     "run",
     "run_many",
     "run_restricted",

@@ -154,10 +154,29 @@ def make_rng(seed, salt, ident):
     return random.Random(f"{seed!r}|{salt!r}|{ident!r}")
 
 
+#: ``"{seed!r}|{salt!r}"`` -> 64-bit key.  The digest is a pure function
+#: of the material, so the memo can never go stale; the bound guards
+#: pathological seed churn (cleared wholesale — refilling is cheap).
+_RUN_KEY_CACHE = {}
+_RUN_KEY_CACHE_MAX = 4096
+
+
 def run_key(seed, salt):
-    """64-bit per-run key for the ``"counter"`` scheme (SHA-512 based)."""
-    digest = hashlib.sha512(f"{seed!r}|{salt!r}".encode()).digest()
-    return int.from_bytes(digest[:8], "big")
+    """64-bit per-run key for the ``"counter"`` scheme (SHA-512 based).
+
+    Memoized by digest material: a long-lived session
+    (:mod:`repro.local.service`, D18) re-derives the key for the same
+    ``(seed, salt)`` on every rerun, and alternation steps re-derive it
+    per phase salt — one SHA-512 per *distinct* run key is enough.
+    """
+    material = f"{seed!r}|{salt!r}"
+    key = _RUN_KEY_CACHE.get(material)
+    if key is None:
+        if len(_RUN_KEY_CACHE) >= _RUN_KEY_CACHE_MAX:
+            _RUN_KEY_CACHE.clear()
+        digest = hashlib.sha512(material.encode()).digest()
+        key = _RUN_KEY_CACHE[material] = int.from_bytes(digest[:8], "big")
+    return key
 
 
 def counter_rng(key, ident):

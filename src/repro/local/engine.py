@@ -435,6 +435,152 @@ class CompiledGraph:
         )
         return child
 
+    def apply_delta(self, delta):
+        """Patched-CSR application of a validated :class:`GraphDelta`.
+
+        The insert/delete analogue of :meth:`restrict`'s rank scan
+        (DESIGN.md D18): untouched rows are copied as C-level slices
+        (edge-only deltas) or a flat index remap (node churn), touched
+        rows are rebuilt by a sorted merge of the surviving slice with
+        the insertions, and reverse ports renumber in one seen-counter
+        pass over the new CSR.  Total Python-level work is O(n + m) with
+        per-edge costs only on touched rows — no identity re-sort, no
+        networkx round-trip, no global re-porting.
+
+        The caller (:meth:`SimGraph.apply_delta <repro.local.graph.
+        SimGraph.apply_delta>`) has already validated ``delta``; rows
+        here trust it (an unvalidated duplicate insert would silently
+        corrupt port ranks, which is why validation is mandatory and
+        eager).
+        """
+        from .graph import SimGraph
+
+        index = self.index
+        offsets, neigh, rev = self.offsets, self.neigh, self.rev
+        labels = self.labels
+        idents = self.idents
+        n = self.n
+
+        dead = bytearray(n)
+        for u in delta.del_nodes:
+            dead[index[u]] = 1
+        # Old-index pairs of deleted edges, both directions, plus the
+        # set of rows whose surviving slice differs from the old row.
+        dropped = set()
+        touched = bytearray(n)
+        for u, v in delta.del_edges:
+            iu, iv = index[u], index[v]
+            dropped.add((iu, iv))
+            dropped.add((iv, iu))
+            touched[iu] = 1
+            touched[iv] = 1
+        for u in delta.del_nodes:
+            i = index[u]
+            for k in range(offsets[i], offsets[i + 1]):
+                touched[neigh[k]] = 1
+
+        # Merge survivors (already in identity order) with the added
+        # nodes (sorted by identity) into the new node order.
+        added = sorted(delta.add_nodes, key=lambda pair: pair[1])
+        survivors = [i for i in range(n) if not dead[i]]
+        new_labels = []
+        new_ident = {}
+        new_of = [-1] * n  # old index -> new index (-1 when deleted)
+        old_of = []  # new index -> old index (-1 for added nodes)
+        added_index = {}
+        si = ai = 0
+        n_surv = len(survivors)
+        n_add = len(added)
+        while si < n_surv or ai < n_add:
+            if ai < n_add and (
+                si == n_surv or added[ai][1] < idents[survivors[si]]
+            ):
+                label, ident = added[ai]
+                added_index[label] = len(new_labels)
+                old_of.append(-1)
+                new_labels.append(label)
+                new_ident[label] = ident
+                ai += 1
+            else:
+                i = survivors[si]
+                new_of[i] = len(new_labels)
+                old_of.append(i)
+                u = labels[i]
+                new_labels.append(u)
+                new_ident[u] = idents[i]
+                si += 1
+
+        def index_new(u):
+            i = index.get(u)
+            if i is not None and not dead[i]:
+                return new_of[i]
+            return added_index[u]
+
+        inserts = {}
+        for u, v in delta.add_edges:
+            ju, jv = index_new(u), index_new(v)
+            inserts.setdefault(ju, []).append(jv)
+            inserts.setdefault(jv, []).append(ju)
+
+        # new_of is the identity map iff the node set is unchanged —
+        # then untouched rows copy as raw slices with no remap at all.
+        identity_map = not (delta.del_nodes or delta.add_nodes)
+        nn = len(new_labels)
+        new_offsets = [0]
+        new_neigh = []
+        for j in range(nn):
+            i = old_of[j]
+            adds = inserts.get(j)
+            if i < 0:
+                # Fresh node: its row is exactly its sorted insertions.
+                if adds:
+                    new_neigh.extend(sorted(adds))
+            elif adds is None and not touched[i]:
+                row = neigh[offsets[i]:offsets[i + 1]]
+                if identity_map:
+                    new_neigh.extend(row)
+                else:
+                    new_neigh.extend([new_of[w] for w in row])
+            else:
+                # Sorted merge: the surviving slice and the insertions
+                # are both ascending in new-index order (new_of is
+                # monotone on survivors), so one linear pass keeps the
+                # row in canonical neighbour-identity order.
+                adds = sorted(adds) if adds else []
+                pa = 0
+                na = len(adds)
+                for k in range(offsets[i], offsets[i + 1]):
+                    w = neigh[k]
+                    if dead[w] or (i, w) in dropped:
+                        continue
+                    nw = new_of[w]
+                    while pa < na and adds[pa] < nw:
+                        new_neigh.append(adds[pa])
+                        pa += 1
+                    new_neigh.append(nw)
+                while pa < na:
+                    new_neigh.append(adds[pa])
+                    pa += 1
+            new_offsets.append(len(new_neigh))
+
+        # Reverse ports in one seen-counter pass: rows are ascending and
+        # the relation is symmetric, so for a fixed target w the slots
+        # pointing at w arrive in ascending owner order — the running
+        # count seen[w] is exactly the owner's rank (= port) in w's row.
+        new_rev = [0] * len(new_neigh)
+        seen = [0] * nn
+        pos = 0
+        for w in new_neigh:
+            new_rev[pos] = seen[w]
+            seen[w] += 1
+            pos += 1
+
+        child = SimGraph(new_labels, new_ident, None)
+        child._compiled = CompiledGraph(
+            child, _raw=(new_offsets, new_neigh, new_rev)
+        )
+        return child
+
 
 def run_batch(
     kernel, cg, algorithm, *, cap, truncating, default_output, result_cls

@@ -207,6 +207,21 @@ def _evict_slab(key):
         _SLAB_STATS["evictions"] += 1
 
 
+def release_slabs_of(cg):
+    """Deterministically evict every cached slab that includes ``cg``.
+
+    The weakref finalizers already evict entries when a member graph is
+    collected, but a long-lived session (D18) cannot lean on collection
+    timing — user code may still hold the pre-mutation graph — so
+    ``SimulationSession.mutate``/``close`` call this to guarantee a
+    retired topology never serves another slab, no matter who still
+    references it.
+    """
+    target = id(cg)
+    for key in [key for key in _SLAB_CACHE if target in key]:
+        _evict_slab(key)
+
+
 def fused_slab_of(cgs):
     """The (cached) block-diagonal slab over compiled member graphs."""
     key = tuple(id(cg) for cg in cgs)

@@ -14,7 +14,164 @@ from __future__ import annotations
 
 import networkx as nx
 
-from ..errors import InvalidInstanceError
+from ..errors import InvalidInstanceError, ParameterError
+
+
+class GraphDelta:
+    """A validated batch of topology edits for :meth:`SimGraph.apply_delta`.
+
+    Deltas are the unit of mutation for the live-graph session service
+    (:mod:`repro.local.service`, DESIGN.md D18).  One delta may insert
+    and delete both edges and nodes; application order is fixed and
+    documented: edge deletions, then node deletions (taking their
+    incident edges with them), then node insertions, then edge
+    insertions — so inserted edges may touch inserted nodes, and a
+    deleted edge must exist in the *pre*-delta graph.
+
+    Validation is eager and total (mirroring ``FaultPlan``): every
+    structural error — a self-loop, a duplicate within the delta, an
+    ident that is not a positive integer — raises
+    :class:`~repro.errors.ParameterError` at construction, and every
+    graph-relative error — deleting a nonexistent edge, inserting a
+    duplicate edge, touching an unknown node label, an identity
+    collision — raises at :meth:`validate` time, before any state
+    changes.  A delta either applies exactly or not at all.
+    """
+
+    __slots__ = ("add_nodes", "del_nodes", "add_edges", "del_edges")
+
+    def __init__(self, *, add_nodes=(), del_nodes=(), add_edges=(),
+                 del_edges=()):
+        if isinstance(add_nodes, dict):
+            add_nodes = add_nodes.items()
+        self.add_nodes = tuple((u, ident) for u, ident in add_nodes)
+        self.del_nodes = tuple(del_nodes)
+        self.add_edges = tuple((u, v) for u, v in add_edges)
+        self.del_edges = tuple((u, v) for u, v in del_edges)
+
+        added_labels = set()
+        for u, ident in self.add_nodes:
+            if isinstance(ident, bool) or not isinstance(ident, int) or ident < 1:
+                raise ParameterError(
+                    f"added node {u!r}: identities must be positive integers "
+                    f"(paper Section 2), got {ident!r}"
+                )
+            if u in added_labels:
+                raise ParameterError(f"node {u!r} added twice in one delta")
+            added_labels.add(u)
+        added_idents = [ident for _, ident in self.add_nodes]
+        if len(set(added_idents)) != len(added_idents):
+            raise ParameterError("added identities collide within the delta")
+        deleted = set()
+        for u in self.del_nodes:
+            if u in deleted:
+                raise ParameterError(f"node {u!r} deleted twice in one delta")
+            deleted.add(u)
+        both = added_labels & deleted
+        if both:
+            raise ParameterError(
+                f"labels both added and deleted in one delta: "
+                f"{sorted(both, key=repr)[:5]} (split into two deltas)"
+            )
+        for kind, edges in (("added", self.add_edges),
+                            ("deleted", self.del_edges)):
+            seen = set()
+            for u, v in edges:
+                if u == v:
+                    raise ParameterError(f"{kind} edge ({u!r}, {v!r}) is a self-loop")
+                key = frozenset((u, v))
+                if key in seen:
+                    raise ParameterError(
+                        f"edge ({u!r}, {v!r}) {kind} twice in one delta"
+                    )
+                seen.add(key)
+        overlap = (
+            {frozenset(e) for e in self.add_edges}
+            & {frozenset(e) for e in self.del_edges}
+        )
+        if overlap:
+            pair = sorted(next(iter(overlap)), key=repr)
+            raise ParameterError(
+                f"edge {tuple(pair)!r} both added and deleted in one delta "
+                f"(split into two deltas)"
+            )
+        for u, v in self.add_edges:
+            if u in deleted or v in deleted:
+                raise ParameterError(
+                    f"added edge ({u!r}, {v!r}) touches a node deleted by "
+                    f"the same delta"
+                )
+
+    def is_empty(self):
+        """True when applying this delta is the identity."""
+        return not (self.add_nodes or self.del_nodes
+                    or self.add_edges or self.del_edges)
+
+    def __bool__(self):
+        return not self.is_empty()
+
+    def validate(self, graph):
+        """Check this delta against ``graph``; raise ParameterError early.
+
+        Pure — never touches graph state.  All graph-relative edge cases
+        live here: unknown labels, nonexistent deleted edges, duplicate
+        inserted edges, identity collisions with surviving nodes.
+        """
+        node_set = graph._node_set
+        for u in self.del_nodes:
+            if u not in node_set:
+                raise ParameterError(f"cannot delete unknown node {u!r}")
+        deleted = set(self.del_nodes)
+        for u, v in self.del_edges:
+            if u not in node_set or v not in node_set:
+                missing = u if u not in node_set else v
+                raise ParameterError(
+                    f"deleted edge ({u!r}, {v!r}) touches unknown node "
+                    f"{missing!r}"
+                )
+            if not graph.has_edge(u, v):
+                raise ParameterError(
+                    f"cannot delete nonexistent edge ({u!r}, {v!r})"
+                )
+        added_labels = {u for u, _ in self.add_nodes}
+        for u, ident in self.add_nodes:
+            if u in node_set:
+                raise ParameterError(
+                    f"cannot add node {u!r}: label already in the graph"
+                )
+        surviving_idents = {
+            graph.ident[u] for u in graph.nodes if u not in deleted
+        }
+        for u, ident in self.add_nodes:
+            if ident in surviving_idents:
+                raise ParameterError(
+                    f"added node {u!r}: identity {ident} collides with a "
+                    f"surviving node"
+                )
+        final = (node_set - deleted) | added_labels
+        dropped = {frozenset(e) for e in self.del_edges}
+        for u, v in self.add_edges:
+            if u not in final or v not in final:
+                missing = u if u not in final else v
+                raise ParameterError(
+                    f"added edge ({u!r}, {v!r}) touches unknown node "
+                    f"{missing!r}"
+                )
+            if (
+                u in node_set
+                and v in node_set
+                and graph.has_edge(u, v)
+                and frozenset((u, v)) not in dropped
+            ):
+                raise ParameterError(
+                    f"cannot add duplicate edge ({u!r}, {v!r})"
+                )
+
+    def __repr__(self):
+        return (
+            f"GraphDelta(+{len(self.add_nodes)}n/-{len(self.del_nodes)}n, "
+            f"+{len(self.add_edges)}e/-{len(self.del_edges)}e)"
+        )
 
 
 class SimGraph:
@@ -187,6 +344,24 @@ class SimGraph:
     def has_node(self, u):
         return u in self._node_set
 
+    def has_edge(self, u, v):
+        """Edge membership in O(log deg), without materializing ``adj``.
+
+        Delta validation (:meth:`GraphDelta.validate`) probes edges on
+        every session mutate; going through the dict view would rebuild
+        the O(m) adjacency on each CSR-born child and erase the
+        incremental win, so this bisects the CSR row directly.
+        """
+        if self._adj is not None:
+            return any(w == v for _, w, _ in self._adj[u])
+        from bisect import bisect_left
+
+        cg = self.compiled()
+        i, j = cg.index[u], cg.index[v]
+        lo, hi = cg.offsets[i], cg.offsets[i + 1]
+        k = bisect_left(cg.neigh, j, lo, hi)
+        return k < hi and cg.neigh[k] == j
+
     def edge_count(self):
         """Number of edges."""
         return sum(self._degrees.values()) // 2
@@ -277,6 +452,72 @@ class SimGraph:
             for u in keep_set
         }
         return SimGraph._build(list(keep_set), idents, neighbour_view)
+
+    def apply_delta(self, delta):
+        """Apply a :class:`GraphDelta`, returning a **new** SimGraph.
+
+        Application is functional: the receiver is never mutated, so
+        every cache keyed by object identity (``CompiledGraph._batch``,
+        partition plans, the fused slab cache) stays trivially coherent
+        — a mutated topology is a different object with empty caches,
+        not a patched one with stale entries (DESIGN.md D18).
+
+        The result is bit-identical to rebuilding from scratch: the
+        CSR layout is a pure function of the (labels, identities, edge
+        set) triple — nodes in identity order, rows sorted by neighbour
+        identity, ports equal to ranks — and the incremental patch
+        produces exactly that canonical form (asserted by the
+        differential harness in ``tests/test_service.py``).
+
+        Under the reference backend the full sort-and-re-port rebuild
+        path (:meth:`apply_delta_rebuild`) is used instead, mirroring
+        :meth:`subgraph`; both paths produce identical graphs.
+
+        An empty delta returns ``self`` unchanged (no-op identity).
+        """
+        from .runner import DEFAULT_BACKEND
+
+        if not isinstance(delta, GraphDelta):
+            raise ParameterError(
+                f"apply_delta expects a GraphDelta, got {type(delta).__name__}"
+            )
+        delta.validate(self)
+        if delta.is_empty():
+            return self
+        if DEFAULT_BACKEND == "reference":
+            return self.apply_delta_rebuild(delta)
+        return self.compiled().apply_delta(delta)
+
+    def apply_delta_rebuild(self, delta):
+        """Reference delta path: full sort-and-re-port rebuild.
+
+        The executable specification the incremental
+        :meth:`CompiledGraph.apply_delta <repro.local.engine.
+        CompiledGraph.apply_delta>` patch is tested against — same role
+        :meth:`subgraph_rebuild` plays for :meth:`subgraph`.
+        """
+        delta.validate(self)
+        if delta.is_empty():
+            return self
+        dead = set(delta.del_nodes)
+        dropped = {frozenset(e) for e in delta.del_edges}
+        idents = {u: self.ident[u] for u in self.nodes if u not in dead}
+        view = {
+            u: [
+                v
+                for _, v, _ in self.adj[u]
+                if v not in dead and frozenset((u, v)) not in dropped
+            ]
+            for u in self.nodes
+            if u not in dead
+        }
+        for u, ident in delta.add_nodes:
+            idents[u] = ident
+            view[u] = []
+        for u, v in delta.add_edges:
+            view[u].append(v)
+            view[v].append(u)
+        return SimGraph._build(list(idents), idents, view)
 
     def to_networkx(self):
         """Export to a networkx graph (identities as node attribute)."""

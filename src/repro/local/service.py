@@ -1,0 +1,273 @@
+"""Long-lived simulation sessions: open → mutate → rerun → close (D18).
+
+The engines below this module are batch-shaped: every ``run()`` accepts
+a complete static graph and rebuilds whatever it needs.  A
+:class:`SimulationSession` turns them into a service a traffic-serving
+system can sit on: it keeps a live :class:`~repro.local.engine.
+CompiledGraph`, applies :class:`~repro.local.graph.GraphDelta` edits
+incrementally (CSR row-slice patching, no networkx round-trip), and
+reuses warm worker pools across requests — a rerun after a small delta
+skips the identity sort, the re-porting, the partition, the batch
+mirror and the pool fork that a cold rebuild pays.
+
+Correctness contract (enforced by ``tests/test_service.py``): for every
+delta sequence, ``.rerun()`` is bit-identical to a cold ``run()`` on a
+graph rebuilt from scratch — outputs, rounds, message counts and
+backend attribution — on all five backends (reference / compiled /
+batch / sharded(k) / fused).  The contract holds by construction, not
+by luck:
+
+* Mutation is *functional*: :meth:`SimulationSession.mutate` swaps in a
+  brand-new graph object rather than patching the old one in place, so
+  every cache keyed by object identity (the ``batch_graph_of`` mirror,
+  ``Partition`` plans, the fused draw-slab cache) is coherent by
+  definition — a new topology arrives with empty caches instead of
+  stale ones.  The only cross-object cache, the fused slab registry, is
+  evicted explicitly on every mutate/close
+  (:func:`~repro.local.fused.release_slabs_of`).
+* The incremental CSR patch produces the *canonical* layout — node
+  order = identity order, rows sorted by neighbour identity, ports =
+  ranks — which is exactly what a from-scratch build produces, so equal
+  topology means equal bits (D9 purity: draws depend only on
+  ``(run_key, identity)``, never on how the graph object was made).
+* The warm pool is the existing D13 pool scope: a session *is* one
+  scope, entered at open and exited at close, so every pooled rerun
+  re-dispatches to the same forked workers and the D15 recovery ladder
+  keeps serving the session after a worker dies mid-rerun.
+"""
+
+from __future__ import annotations
+
+from ..errors import ParameterError
+from . import sharded
+from .fused import release_slabs_of, run_many
+from .graph import GraphDelta, SimGraph
+from .runner import run, use_backend
+
+
+class SimulationSession:
+    """A live graph plus warm execution state, mutated and rerun in place.
+
+    Use as a context manager, or pair :func:`open_session` with
+    :meth:`close`::
+
+        with open_session(graph, backend="sharded", shards=2,
+                          shard_channel="mp-pooled") as session:
+            session.rerun(algo, seed=1)
+            session.mutate(GraphDelta(add_edges=[(3, 9)]))
+            session.rerun(algo, seed=1)   # ≡ cold run on the new graph
+
+    Keyword pins (``backend``, ``rng``, ``shards``, ``shard_channel``,
+    ``lanes``) become the defaults for every :meth:`rerun`; any rerun
+    may override them per call, which is how the differential harness
+    flips backends mid-script.
+    """
+
+    __slots__ = (
+        "_graph", "_pins", "_lanes", "_epoch", "_reruns", "_closed",
+        "_pool_cm",
+    )
+
+    def __init__(self, graph, *, backend=None, rng=None, shards=None,
+                 shard_channel=None, lanes=None):
+        if not isinstance(graph, SimGraph):
+            raise ParameterError(
+                f"sessions wrap a SimGraph, got {type(graph).__name__}"
+            )
+        self._graph = graph
+        self._pins = {
+            "backend": backend,
+            "rng": rng,
+            "shards": shards,
+            "shard_channel": shard_channel,
+        }
+        self._lanes = lanes
+        self._epoch = 0
+        self._reruns = 0
+        self._closed = False
+        # The session is one pool scope (D13): warm workers persist
+        # across every mutate/rerun until close.
+        self._pool_cm = sharded.pool_scope()
+        self._pool_cm.__enter__()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def graph(self):
+        """The session's live graph (a new object after every mutate)."""
+        return self._graph
+
+    @property
+    def epoch(self):
+        """Number of effective (non-empty) mutations applied so far."""
+        return self._epoch
+
+    @property
+    def closed(self):
+        return self._closed
+
+    def stats(self):
+        """Diagnostic counters: epoch, rerun count, warm-pool view."""
+        return {
+            "epoch": self._epoch,
+            "reruns": self._reruns,
+            "pool": sharded.pool_stats(),
+        }
+
+    def _check_open(self):
+        if self._closed:
+            raise ParameterError("session is closed")
+
+    def close(self):
+        """Release the warm pool and the session's slab-cache entries.
+
+        Idempotent.  The graph itself stays valid — it is an ordinary
+        immutable :class:`SimGraph` the caller may keep using.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        cg = self._graph._compiled
+        if cg is not None:
+            release_slabs_of(cg)
+        self._pool_cm.__exit__(None, None, None)
+
+    def __enter__(self):
+        self._check_open()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------
+    # mutate / rerun
+    # ------------------------------------------------------------------
+    def mutate(self, delta):
+        """Apply a :class:`GraphDelta` incrementally; returns ``self``.
+
+        Validation is eager and total — on any
+        :class:`~repro.errors.ParameterError` the session state is
+        untouched.  An empty delta is the no-op identity: same graph
+        object, same caches, epoch unchanged.
+
+        Unlike :meth:`SimGraph.apply_delta` this always takes the
+        incremental CSR patch (that is the service's point); the
+        rebuild path is the oracle the harness diffs against.
+        """
+        self._check_open()
+        if not isinstance(delta, GraphDelta):
+            raise ParameterError(
+                f"mutate expects a GraphDelta, got {type(delta).__name__}"
+            )
+        old = self._graph
+        delta.validate(old)
+        if delta.is_empty():
+            return self
+        new = old.compiled().apply_delta(delta)
+        self._graph = new
+        self._epoch += 1
+        # The one cross-object cache: fused slabs keyed by member-graph
+        # identity.  Evict deterministically — user code may still hold
+        # the retired graph, so the weakref finalizer may never fire.
+        release_slabs_of(old._compiled)
+        return self
+
+    def rerun(self, algorithm, **kwargs):
+        """Run ``algorithm`` on the live graph; session pins as defaults.
+
+        Accepts every keyword of :func:`~repro.local.runner.run`
+        (``seed``, ``guesses``, ``inputs``, ``backend``, ``shards``,
+        ...); explicit keywords override the session pins per call.
+        """
+        self._check_open()
+        for name, pin in self._pins.items():
+            if pin is not None:
+                kwargs.setdefault(name, pin)
+        result = run(self._graph, algorithm, **kwargs)
+        self._reruns += 1
+        return result
+
+    def rerun_many(self, algorithms, **kwargs):
+        """Fused sweep over the live graph: one lane per algorithm.
+
+        ``algorithms`` is an iterable of node algorithms (or
+        ``(algorithm, opts)`` pairs); every lane shares the session
+        graph, so the whole sweep packs into one block-diagonal slab
+        (D16).  Accepts the keywords of
+        :func:`~repro.local.fused.run_many` (``seeds``, ``salts``,
+        ``lanes``, ...); the session's ``rng`` and ``lanes`` pins apply
+        unless overridden.
+        """
+        self._check_open()
+        if self._pins["rng"] is not None:
+            kwargs.setdefault("rng", self._pins["rng"])
+        if self._lanes is not None:
+            kwargs.setdefault("lanes", self._lanes)
+        jobs = []
+        for entry in algorithms:
+            if isinstance(entry, (tuple, list)):
+                algorithm, opts = entry
+                jobs.append((self._graph, algorithm, opts))
+            else:
+                jobs.append((self._graph, entry))
+        result = run_many(jobs, **kwargs)
+        self._reruns += len(jobs)
+        return result
+
+    def scope(self):
+        """A ``use_backend`` scope pinning this session's settings.
+
+        Lets session-unaware helpers (alternation drivers, estimator
+        pipelines) run under the session's backend without threading
+        keywords through every call::
+
+            with session.scope():
+                uniform.run(session.graph, seed=3)
+        """
+        self._check_open()
+        backend = self._pins["backend"]
+        if backend is None:
+            from .runner import DEFAULT_BACKEND
+
+            backend = DEFAULT_BACKEND
+        extra = {}
+        if self._pins["rng"] is not None:
+            extra["rng"] = self._pins["rng"]
+        if backend == "sharded":
+            if self._pins["shards"] is not None:
+                extra["shards"] = self._pins["shards"]
+            if self._pins["shard_channel"] is not None:
+                extra["shard_channel"] = self._pins["shard_channel"]
+        if backend == "fused" and self._lanes is not None:
+            extra["lanes"] = self._lanes
+        return use_backend(backend, **extra)
+
+    def __repr__(self):
+        state = "closed" if self._closed else "open"
+        return (
+            f"SimulationSession({self._graph!r}, epoch={self._epoch}, "
+            f"reruns={self._reruns}, {state})"
+        )
+
+
+def open_session(graph, *, backend=None, rng=None, shards=None,
+                 shard_channel=None, lanes=None):
+    """Open a :class:`SimulationSession` on ``graph``.
+
+    The keyword pins become defaults for every ``rerun`` of the
+    session; see :class:`SimulationSession`.
+    """
+    return SimulationSession(
+        graph,
+        backend=backend,
+        rng=rng,
+        shards=shards,
+        shard_channel=shard_channel,
+        lanes=lanes,
+    )
+
+
+#: ``service.open(graph)`` spelling used in the service docs.
+open = open_session

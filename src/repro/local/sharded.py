@@ -1415,6 +1415,19 @@ def active_pool():
     return _POOL
 
 
+def pool_stats():
+    """Diagnostic view of the scope's shared pool (D18 session tests).
+
+    ``None`` outside a pool scope or before the first pooled run;
+    otherwise the live worker pids and whether the pool was poisoned.
+    Sessions use this to *prove* warm reuse: the pids surviving across
+    ``mutate()``/``rerun()`` cycles are the warm-pool contract.
+    """
+    if _POOL is None:
+        return None
+    return {"pids": _POOL.worker_pids(), "broken": _POOL.broken}
+
+
 @contextmanager
 def pool_scope():
     """Context manager scoping the shared worker pool (D13).

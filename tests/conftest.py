@@ -1,11 +1,17 @@
-"""Shared fixtures: graph catalogue, identity schemes, SimGraph builders."""
+"""Shared fixtures: graph catalogue, identity schemes, SimGraph builders,
+and the seeded delta-script generator behind the differential mutation
+harness (``tests/test_service.py``, DESIGN.md D18)."""
 
 from __future__ import annotations
 
+import random
+from types import SimpleNamespace
+
+import networkx as nx
 import pytest
 
 from repro.graphs import families, identifiers
-from repro.local import SimGraph
+from repro.local import GraphDelta, SimGraph
 
 
 def build(graph, *, ident_scheme="poly", seed=0):
@@ -45,3 +51,178 @@ def tree():
 @pytest.fixture(scope="session")
 def path12():
     return build(families.path(12), seed=12)
+
+
+# ----------------------------------------------------------------------
+# Differential mutation harness: seeded, shrinkable delta scripts (D18)
+# ----------------------------------------------------------------------
+class DeltaScript:
+    """A seeded, replayable mutation script for the differential harness.
+
+    ``ops`` is a sequence of ``("mutate", GraphDelta)`` and
+    ``("rerun", spec)`` entries over the evolving graph that starts at
+    ``base`` (a networkx graph) with identity map ``idents``.  Scripts
+    are *prefix-closed*: every delta was generated against the graph
+    state at its own position, so any prefix is itself a valid script —
+    which is what makes shrinking sound.
+    """
+
+    def __init__(self, seed, base, idents, ops):
+        self.seed = seed
+        self.base = base
+        self.idents = idents
+        self.ops = ops
+
+    def prefix(self, length):
+        return DeltaScript(self.seed, self.base, self.idents,
+                           self.ops[:length])
+
+    def describe(self):
+        lines = [
+            f"DeltaScript(seed={self.seed}, n={self.base.number_of_nodes()}, "
+            f"m={self.base.number_of_edges()}, ops={len(self.ops)}):"
+        ]
+        for i, (kind, payload) in enumerate(self.ops):
+            if kind == "mutate":
+                detail = (
+                    f"{payload!r} +e{list(payload.add_edges)} "
+                    f"-e{list(payload.del_edges)} "
+                    f"+n{list(payload.add_nodes)} -n{list(payload.del_nodes)}"
+                )
+            else:
+                detail = repr(payload)
+            lines.append(f"  [{i:2d}] {kind}: {detail}")
+        return "\n".join(lines)
+
+
+def _random_delta(rnd, truth, state):
+    """One random valid GraphDelta against ``truth``; mutates nothing."""
+    nodes = list(truth.nodes())
+    edges = list(truth.edges())
+    del_edges = rnd.sample(edges, min(rnd.randrange(3), len(edges)))
+    dropped = {frozenset(e) for e in del_edges}
+    del_nodes = []
+    if nodes and rnd.random() < 0.4 and len(nodes) > 6:
+        del_nodes = [rnd.choice(nodes)]
+    add_nodes = []
+    if rnd.random() < 0.5:
+        add_nodes = [(state["next_label"], state["next_ident"])]
+        state["next_label"] += 1
+        state["next_ident"] += 1
+    final = [u for u in nodes if u not in del_nodes]
+    final += [u for u, _ in add_nodes]
+    add_edges = []
+    tries = 0
+    want = rnd.randrange(3) if not add_nodes else max(1, rnd.randrange(3))
+    while len(add_edges) < want and tries < 30 and len(final) >= 2:
+        tries += 1
+        u, v = rnd.sample(final, 2)
+        key = frozenset((u, v))
+        present = truth.has_edge(u, v) and key not in dropped
+        if present or key in dropped:
+            continue
+        if key in {frozenset(e) for e in add_edges}:
+            continue
+        add_edges.append((u, v))
+    if not (del_edges or del_nodes or add_nodes or add_edges):
+        # Force a non-trivial delta: toggle one edge.
+        if edges:
+            del_edges = [rnd.choice(edges)]
+        else:
+            u, v = rnd.sample(nodes, 2)
+            add_edges = [(u, v)]
+    return GraphDelta(
+        add_nodes=add_nodes,
+        del_nodes=del_nodes,
+        add_edges=add_edges,
+        del_edges=del_edges,
+    )
+
+
+def apply_delta_to_networkx(truth, idents, delta):
+    """Apply a GraphDelta to the mutable networkx truth graph in place."""
+    truth.remove_edges_from(delta.del_edges)
+    truth.remove_nodes_from(delta.del_nodes)
+    for u in delta.del_nodes:
+        del idents[u]
+    for u, ident in delta.add_nodes:
+        truth.add_node(u)
+        idents[u] = ident
+    truth.add_edges_from(delta.add_edges)
+
+
+def make_delta_script(seed, *, n=28, p=0.14, steps=12, rerun_specs=()):
+    """Generate a prefix-closed random script of mutations and reruns.
+
+    Each generated delta is valid for the evolving graph state at its
+    position; reruns draw uniformly from ``rerun_specs`` (opaque dicts
+    the executor interprets), and one final rerun per spec is appended
+    so every spec is exercised after the last mutation.
+    """
+    rnd = random.Random(seed)
+    base = families.gnp(n, p, seed=seed)
+    idents = dict(identifiers.SCHEMES["poly"](base, seed=seed + 1))
+    truth = nx.Graph(base)
+    live_idents = dict(idents)
+    state = {
+        "next_label": max(truth.nodes()) + 1,
+        "next_ident": max(live_idents.values()) + 1,
+    }
+    specs = list(rerun_specs) or [{}]
+    ops = []
+    for _ in range(steps):
+        if rnd.random() < 0.6:
+            delta = _random_delta(rnd, truth, state)
+            apply_delta_to_networkx(truth, live_idents, delta)
+            ops.append(("mutate", delta))
+        else:
+            ops.append(("rerun", rnd.choice(specs)))
+    for spec in specs:
+        ops.append(("rerun", spec))
+    return DeltaScript(seed, base, idents, ops)
+
+
+def shrink_to_minimal_failing_prefix(script, execute):
+    """Bisect ``script`` to a minimal failing prefix and re-raise there.
+
+    ``execute`` runs a script and raises ``AssertionError`` on
+    divergence.  Deltas accumulate, so once the offending op is included
+    every longer prefix fails too — the bisection invariant.  The
+    minimal prefix is printed (its seed and ops replay it exactly)
+    before re-executing it, so the raised error carries the smallest
+    reproduction.
+    """
+
+    def fails(candidate):
+        try:
+            execute(candidate)
+        except AssertionError:
+            return True
+        return False
+
+    lo, hi = 1, len(script.ops)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if fails(script.prefix(mid)):
+            hi = mid
+        else:
+            lo = mid + 1
+    minimal = script.prefix(hi)
+    print(f"\nminimal failing prefix ({hi} of {len(script.ops)} ops):")
+    print(minimal.describe())
+    execute(minimal)  # re-raise with the minimal reproduction
+    raise AssertionError(
+        "script failed but its minimal prefix passed on replay — "
+        "non-deterministic divergence:\n" + minimal.describe()
+    )
+
+
+@pytest.fixture(scope="session")
+def delta_harness():
+    """The delta-script toolbox used by the differential harness."""
+    return SimpleNamespace(
+        DeltaScript=DeltaScript,
+        make_script=make_delta_script,
+        apply_to_networkx=apply_delta_to_networkx,
+        shrink=shrink_to_minimal_failing_prefix,
+    )

@@ -240,6 +240,48 @@ class TestSlabCache:
         after = slab_cache_stats()
         assert after["evictions"] > before["evictions"]
 
+    def test_session_mutation_invalidates_every_cache_layer(self):
+        """The stale-cache footgun, closed (D18): after a session
+        mutate, the batch mirror, partition plans and draw-slab cache
+        all serve the *new* topology — the retired graph's slab entry is
+        evicted deterministically even though we still reference it."""
+        from repro.local import GraphDelta, open_session
+        from repro.local.fused import _SLAB_CACHE
+
+        graph = build(families.gnp(24, 0.15, seed=6), seed=7)
+        with open_session(graph) as session:
+            jobs = [luby_mis() for _ in range(3)]
+            session.rerun_many(jobs, seeds=[1, 2, 3])
+            old_cg = session.graph.compiled()
+            old_mirror = batch_module.batch_graph_of(old_cg)
+            old_plan = session.graph.partition(2)
+            assert any(id(old_cg) in key for key in _SLAB_CACHE)
+            before = slab_cache_stats()
+
+            edge = next(iter(session.graph.edges()))
+            session.mutate(GraphDelta(del_edges=[edge]))
+
+            # Slab of the retired topology: evicted now, not at GC time
+            # (this test still holds old_cg alive).
+            after = slab_cache_stats()
+            assert after["evictions"] > before["evictions"]
+            assert not any(id(old_cg) in key for key in _SLAB_CACHE)
+
+            # Identity-keyed layers: the new graph is a new object with
+            # empty caches — nothing can serve stale bits.
+            new_cg = session.graph.compiled()
+            assert new_cg is not old_cg
+            assert batch_module.batch_graph_of(new_cg) is not old_mirror
+            assert session.graph.partition(2) is not old_plan
+
+            # The post-mutate fused sweep equals its solo runs on the
+            # new topology (a stale slab would diverge here).
+            fused = session.rerun_many(jobs, seeds=[4, 5, 6])
+            for seed, lane in zip([4, 5, 6], fused):
+                solo = run(session.graph, luby_mis(), seed=seed,
+                           backend="compiled")
+                assert fields_of(lane) == fields_of(solo)
+
 
 class TestBackendWiring:
     def test_use_backend_fused_lanes(self, small_gnp):

@@ -29,12 +29,14 @@ from repro.errors import (
 from repro.local import (
     Broadcast,
     FaultPlan,
+    GraphDelta,
     LocalAlgorithm,
     NodeProcess,
     SimGraph,
     crash_at,
     drop,
     garble,
+    open_session,
     run,
     sample_plan,
 )
@@ -484,3 +486,58 @@ class TestRecoveryDiagnostics:
         )
         assert engine.steps[-1].backends[0] == "batch"
         assert last_recovery() is None
+
+
+@needs_fork
+class TestSessionChaos:
+    """D18 sessions under D15 chaos: a SIGKILL mid-``.rerun()`` heals
+    surgically inside the session's warm pool, and the *next*
+    ``.mutate()+.rerun()`` on the healed pool is still bit-identical to
+    a cold rebuild — the service keeps serving correct bits after
+    losing a worker."""
+
+    @pytest.fixture(autouse=True)
+    def fail_once_setup(self, monkeypatch, tmp_path):
+        monkeypatch.setattr(sharded, "SHARD_RETRY_BACKOFF", 0.01)
+        self.flag = tmp_path / "failed-once.flag"
+        monkeypatch.setenv(KILL_FLAG, str(self.flag))
+
+    @pytest.mark.parametrize("channel", ("mp", "mp-pooled"))
+    def test_mid_rerun_kill_then_mutate_rerun_identical(
+        self, small_gnp, channel
+    ):
+        algo = LocalAlgorithm(name="kill-once", process=_KillOnceWorker)
+        honest = run(small_gnp, algo, seed=1, backend="reference")
+        with open_session(
+            small_gnp, backend="sharded", shards=2, shard_channel=channel
+        ) as session:
+            got = session.rerun(algo, seed=1)
+            assert_results_equal(honest, got, context=("session", channel))
+            # Surgical (D15): exactly one respawn, no rebuild, no
+            # inline escalation — the warm pool survived the kill.
+            assert self.flag.exists(), "the fault never fired"
+            trail = last_recovery()
+            assert trail is not None and trail.startswith("respawn@r2(s")
+            assert trail.count("respawn") == 1
+            assert "rebuild" not in trail and "inline" not in trail
+            if channel == "mp-pooled":
+                pool = session.stats()["pool"]
+                assert pool is not None and not pool["broken"]
+                healed_pids = pool["pids"]
+            # The flag file stays on disk: warm workers forked with the
+            # env baked in see it and survive — later runs are honest.
+            edge = next(iter(session.graph.edges()))
+            session.mutate(GraphDelta(del_edges=[edge]))
+            again = session.rerun(algo, seed=1)
+            assert last_recovery() is None
+            truth = small_gnp.to_networkx()
+            truth.remove_edge(*edge)
+            oracle = SimGraph.from_networkx(
+                truth, idents=dict(small_gnp.ident)
+            )
+            cold = run(oracle, algo, seed=1, backend="reference")
+            assert_results_equal(again, cold, context=("post-heal", channel))
+            if channel == "mp-pooled":
+                # The healed pool (same slots) served the mutated rerun.
+                assert session.stats()["pool"]["pids"] == healed_pids
+        assert sharded.pool_stats() is None
